@@ -1,0 +1,51 @@
+"""Ablation: stack relocation on/off (Section IV-C3).
+
+With relocation disabled, SenSmart degrades to fixed initial stacks:
+the recursion-heavy task must die instead of borrowing a neighbour's
+surplus.
+"""
+
+from conftest import run_once
+
+from repro.kernel import KernelConfig, SensorNode
+from repro.workloads.bintree import search_task_source
+
+SPINNER = """
+main:
+    ldi r26, 0
+    ldi r27, 0
+    ldi r28, 6
+outer:
+inner:
+    adiw r26, 1
+    brne inner
+    dec r28
+    brne outer
+    break
+"""
+
+
+def _run(enable_relocation: bool):
+    sources = [("spin0", SPINNER),
+               ("search", search_task_source(nodes=140, searches=10))]
+    for index in range(1, 12):
+        sources.append((f"spin{index}", SPINNER))
+    config = KernelConfig(time_slice_cycles=20_000,
+                          enable_relocation=enable_relocation)
+    node = SensorNode.from_sources(sources, config=config)
+    node.run(max_instructions=60_000_000)
+    assert node.finished
+    return node
+
+
+def test_relocation_ablation(benchmark):
+    with_relocation = run_once(benchmark, lambda: _run(True))
+    without = _run(False)
+    search_with = with_relocation.task_named("search")
+    search_without = without.task_named("search")
+    print(f"\nwith relocation: {search_with.exit_reason!r} "
+          f"({with_relocation.stats.relocations} relocations); "
+          f"without: {search_without.exit_reason!r}")
+    assert search_with.exit_reason == "exit"
+    assert with_relocation.stats.relocations >= 1
+    assert search_without.exit_reason == "stack overflow"

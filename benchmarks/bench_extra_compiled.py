@@ -1,0 +1,20 @@
+"""Extra experiment: trampoline merging on compiled code."""
+
+from conftest import run_once
+
+from repro.experiments import extra_compiled
+
+
+def test_compiled(benchmark):
+    result = run_once(benchmark, extra_compiled.run)
+    print()
+    print(result.render())
+    # Compiled programs merge heavily; tiny hand-written ones cannot.
+    assert result.by_name("crc (compiled)").merge_rate > 0.4
+    assert result.by_name("treesearch (compiled)").merge_rate > 0.5
+    # Cross-program merging across the suite is even stronger.
+    suite_rate = 1 - result.suite_slots / result.suite_requests
+    assert suite_rate > 0.6
+    # Inflation of compiled code stays in the paper's ballpark.
+    for row in result.rows_data:
+        assert row.ratio < 3.0, row.name

@@ -1,0 +1,48 @@
+"""Extra experiments: copy-on-switch, preemption latency, energy."""
+
+from conftest import run_once
+
+from repro.experiments import extra_copyswitch, extra_energy, \
+    extra_latency
+
+
+def test_copyswitch(benchmark):
+    result = run_once(benchmark, extra_copyswitch.run)
+    print()
+    print(result.render())
+    # Section I: swap-based switching is catastrophically slower...
+    assert result.copyswitch_switch_cycles > \
+        30 * result.sensmart_switch_cycles
+    # ...and wears the flash out within the hour at modest rates.
+    assert result.lifetime_hours_at_100hz < 1.0
+    # End-to-end the same workload takes several times longer.
+    assert result.copyswitch_total_cycles > \
+        2 * result.sensmart_total_cycles
+
+
+def test_latency(benchmark):
+    result = run_once(benchmark, extra_latency.run)
+    print()
+    print(result.render())
+    for row in result.rows_data:
+        # Latency stays within the inter-trap bound.
+        assert row.max_us <= row.bound_us * 1.2
+        # And well under a time slice (10 ms): preemption is effective.
+        assert row.max_us < 1_000
+
+
+def test_energy(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: extra_energy.run(sizes=[10_000, 60_000, 120_000],
+                                 activations=8))
+    print()
+    print(result.render())
+    low, knee, high = result.points
+    # The translation tax shows up in CPU energy at every size...
+    for point in result.points:
+        assert point.sensmart_mj > 1.5 * point.native_mj
+    # ...but average draw only approaches the active figure when the
+    # node saturates.
+    assert low.sensmart_ma < 2.0
+    assert high.sensmart_ma > 6.0

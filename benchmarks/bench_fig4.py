@@ -1,0 +1,24 @@
+"""Figure 4: code inflation of the seven kernel benchmarks."""
+
+from conftest import run_once
+
+from repro.experiments import fig4
+
+
+def test_fig4(benchmark):
+    result = run_once(benchmark, fig4.run)
+    print()
+    print(result.render())
+    assert len(result.breakdowns) == 7
+    for breakdown in result.breakdowns:
+        # Paper: SenSmart inflation within ~200%; small hand-written
+        # programs amplify the fixed trampoline share slightly.
+        assert breakdown.sensmart_ratio < 3.0, breakdown.name
+        # Paper: the t-kernel makes the code "much larger" than
+        # SenSmart for every benchmark.
+        assert breakdown.tkernel_bytes > breakdown.sensmart_total, \
+            breakdown.name
+        # Decomposition is complete and positive.
+        assert breakdown.sensmart_rewritten >= breakdown.native_bytes
+        assert breakdown.sensmart_shift > 0
+        assert breakdown.sensmart_trampoline > 0

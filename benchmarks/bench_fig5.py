@@ -1,0 +1,25 @@
+"""Figure 5: execution time of the kernel benchmarks across systems."""
+
+from conftest import run_once
+
+from repro.experiments import fig5
+
+
+def test_fig5(benchmark):
+    result = run_once(benchmark, fig5.run)
+    print()
+    print(result.render())
+    assert len(result.measurements) == 7
+    tk_faster_count = 0
+    for row in result.measurements:
+        # Everything costs at least native.
+        assert row.sensmart_full_cycles >= row.native_cycles
+        assert row.tkernel_cycles >= row.native_cycles
+        # SenSmart's slowdown stays moderate (paper: "a reasonable
+        # execution speed ... moderate slowdown").
+        assert row.sensmart_full_cycles < 8 * row.native_cycles, row.name
+        if row.tkernel_cycles < row.sensmart_full_cycles:
+            tk_faster_count += 1
+    # Paper: "t-kernel has better performance in most of the seven
+    # programs" (its protection is lighter).
+    assert tk_faster_count >= 4

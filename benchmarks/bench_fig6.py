@@ -1,0 +1,38 @@
+"""Figure 6: PeriodicTask — time, utilization, and the Maté comparison."""
+
+from conftest import run_once
+
+from repro.experiments import fig6
+
+SIZES = [10_000, 30_000, 60_000, 90_000, 120_000]
+
+
+def test_fig6(benchmark):
+    result = run_once(
+        benchmark, lambda: fig6.run(sizes=SIZES, activations=10))
+    print()
+    print(result.render())
+    points = result.points
+    small, knee, largest = points[0], points[2], points[-1]
+
+    # (a) Below the knee SenSmart tracks native closely...
+    assert small.sensmart_cycles < 1.1 * small.native_cycles
+    # ...and beats the t-kernel, whose warm-up dominates (paper: "for
+    # tasks with less than 60,000 instructions, SenSmart performs
+    # better than t-kernel").
+    assert small.sensmart_cycles < small.tkernel_cycles
+    assert knee.sensmart_cycles < knee.tkernel_cycles
+    # Beyond the knee SenSmart's time rises steeply.
+    assert largest.sensmart_cycles > 1.5 * largest.native_cycles
+
+    # (b) Utilization grows with computation size and saturates at the
+    # knee for SenSmart ("when it reaches 60,000 instructions, the CPU
+    # utilization in SenSmart is nearly saturated").
+    assert knee.sensmart_utilization > 0.85
+    assert small.sensmart_utilization < 0.5
+    assert small.native_utilization < small.sensmart_utilization
+
+    # (c) Maté's interpretation is at least an order of magnitude
+    # slower than SenSmart on computation-heavy settings.
+    assert largest.mate_cycles > 5 * largest.sensmart_cycles
+    assert knee.mate_cycles > 3 * knee.sensmart_cycles

@@ -1,0 +1,25 @@
+"""Figure 8: SenSmart vs LiteOS under an equal stack budget."""
+
+from conftest import run_once
+
+from repro.experiments import fig8
+
+TREE_SIZES = [10, 20, 40, 60]
+
+
+def test_fig8(benchmark):
+    result = run_once(
+        benchmark, lambda: fig8.run(tree_sizes=TREE_SIZES))
+    print()
+    print(result.render())
+    points = result.points
+    for point in points:
+        # Versatile stacks never schedule fewer tasks than fixed ones.
+        assert point.sensmart_tasks >= point.liteos_tasks
+    # And strictly more somewhere in the sweep — the paper's headline.
+    assert any(p.sensmart_tasks > p.liteos_tasks for p in points)
+    # Both decline as trees grow.
+    sensmart = [p.sensmart_tasks for p in points]
+    liteos = [p.liteos_tasks for p in points]
+    assert sensmart == sorted(sensmart, reverse=True)
+    assert liteos == sorted(liteos, reverse=True)

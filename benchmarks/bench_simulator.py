@@ -1,0 +1,47 @@
+"""Simulator throughput: the substrate must sustain laptop-scale sweeps."""
+
+from repro.avr import AvrCpu, Flash, assemble
+from repro.kernel import SensorNode
+
+SPIN = """
+main:
+    ldi r26, 0
+    ldi r27, 0
+    ldi r28, 8
+outer:
+inner:
+    adiw r26, 1
+    brne inner
+    dec r28
+    brne outer
+    break
+"""
+
+
+def test_native_interpreter_speed(benchmark):
+    program = assemble(SPIN)
+
+    def run():
+        flash = Flash()
+        flash.load(0, program.words)
+        cpu = AvrCpu(flash)
+        cpu.run()
+        return cpu.instret
+
+    instructions = benchmark(run)
+    rate = instructions / benchmark.stats["mean"]
+    print(f"\nnative interpreter: {rate / 1e6:.2f} M simulated instr/s")
+    assert rate > 200_000  # generous floor: sweeps stay tractable
+
+
+def test_kernelized_interpreter_speed(benchmark):
+    def run():
+        node = SensorNode.from_sources([("spin", SPIN)])
+        node.run(max_instructions=10_000_000)
+        assert node.finished
+        return node.cpu.instret
+
+    instructions = benchmark.pedantic(run, rounds=3, iterations=1)
+    rate = instructions / benchmark.stats["mean"]
+    print(f"\nunder SenSmart: {rate / 1e6:.2f} M simulated instr/s")
+    assert rate > 50_000

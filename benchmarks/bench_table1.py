@@ -1,0 +1,14 @@
+"""Table I: feature matrix, with the SenSmart column live-verified."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark):
+    result = run_once(benchmark, table1.run)
+    print()
+    print(result.render())
+    assert result.verified
+    # Every paper row is present.
+    assert len(result.rows) == 8

@@ -1,0 +1,31 @@
+"""Table II: per-operation overheads measured in cycles."""
+
+from conftest import run_once
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark):
+    result = run_once(benchmark, lambda: table2.run(reps=16))
+    print()
+    print(result.render())
+    # Measured values must match the paper where Table II is legible.
+    for operation, paper in [
+        ("Mem direct, I/O area", 2),
+        ("Mem direct, others", 28),
+        ("Mem indirect, I/O area", 54),
+        ("Program memory (indirect branch)", 376),
+        ("Get stack pointer", 45),
+        ("Set stack pointer", 94),
+        ("Context saving", 932),
+        ("Context restoring", 976),
+        ("Full switching", 2298),
+    ]:
+        measured = result.measured(operation)
+        assert abs(measured - paper) <= max(2, 0.05 * paper), operation
+    # Relocation lands inside the paper's 300-1000 us statement.
+    relocation = result.measured("Stack relocation")
+    assert 2_000 <= relocation <= 8_000
+    # The grouped-access optimization is visibly cheaper.
+    assert result.measured("Mem indirect, grouped follower") < \
+        result.measured("Mem indirect, stack frame")

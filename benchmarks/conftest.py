@@ -1,0 +1,14 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one of the paper's tables or figures (or an
+ablation of a design choice DESIGN.md calls out).  The regenerated rows
+are printed so ``pytest benchmarks/ --benchmark-only`` leaves a full
+record, and shape assertions keep the reproduction honest.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, function):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, rounds=1, iterations=1)

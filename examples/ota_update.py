@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Over-the-air reprogramming: ship a new task to a deployed node.
+
+Combines three pieces of the library: the network simulator carries an
+application image from a gateway node to a field node over the lossy
+radio channel; a tiny receiver task on the field node acknowledges the
+transfer; and the kernel's reprogramming service (paper Section III-A)
+installs the update on the *running* node, alongside its existing
+sensing task.  The update itself is written in TinyC.
+"""
+
+from repro.avr import ioports
+from repro.avr.devices.radio import RXC
+from repro.cc import compile_c_to_asm
+from repro.kernel import KernelConfig, SensorNode
+from repro.net import Network
+
+# The field node's resident sensing task (long-running).
+SENSING = f"""
+.bss readings, 2
+main:
+    ldi r16, hi8(4096)
+    sts {ioports.OCR3AH}, r16
+    ldi r16, lo8(4096)
+    sts {ioports.OCR3AL}, r16
+    ldi r20, 20
+sense_round:
+    sleep
+    ldi r18, {1 << ioports.ADSC}
+    sts {ioports.ADCSRA}, r18
+adc_poll:
+    lds r18, {ioports.ADCSRA}
+    sbrc r18, {ioports.ADSC}
+    rjmp adc_poll
+    lds r16, readings
+    inc r16
+    sts readings, r16
+    dec r20
+    brne sense_round
+    break
+"""
+
+# The field node's OTA receiver: counts image bytes, acks the total.
+RECEIVER = f"""
+.bss got_lo, 1
+.bss got_hi, 1
+main:
+    ldi r24, 0
+    ldi r25, 0
+recv:
+wait_rx:
+    lds r17, {ioports.UCSR0A}
+    sbrs r17, {RXC}
+    rjmp wait_rx
+    lds r16, {ioports.UDR0}
+    cpi r16, 0x04          ; EOT sentinel ends the transfer
+    breq done
+    adiw r24, 1
+    rjmp recv
+done:
+    sts got_lo, r24
+    sts got_hi, r25
+    break
+"""
+
+# The gateway: clocks a byte buffer out; host glue fills its radio.
+GATEWAY = f"""
+.bss image_len_lo, 1
+.bss image_len_hi, 1
+main:
+relay:
+wait_rx:
+    lds r17, {ioports.UCSR0A}
+    sbrs r17, {RXC}
+    rjmp wait_rx
+    lds r16, {ioports.UDR0}
+wait_tx:
+    lds r17, {ioports.UCSR0A}
+    sbrs r17, {ioports.UDRE}
+    rjmp wait_tx
+    sts {ioports.UDR0}, r16
+    cpi r16, 0x04
+    brne relay
+    break
+"""
+
+# The update, written in TinyC: a duty-cycle reporter.
+UPDATE_C = """
+u16 blinks;
+void main() {
+    u16 i;
+    settimer(2048);
+    for (i = 0; i < 6; i++) {
+        sleep();
+        io_write(0x3B, i & 7);     // LEDs show progress
+        blinks++;
+    }
+    halt();
+}
+"""
+
+
+def main() -> None:
+    update_asm = compile_c_to_asm(UPDATE_C)
+    image_bytes = update_asm.encode() + b"\x04"  # EOT-terminated
+
+    config = KernelConfig(time_slice_cycles=20_000)
+    net = Network(quantum_cycles=10_000)
+    gateway = net.add_node(
+        "gateway", SensorNode.from_sources([("relay", GATEWAY)],
+                                           config=config))
+    field = net.add_node(
+        "field", SensorNode.from_sources(
+            [("sensing", SENSING), ("ota_rx", RECEIVER)], config=config))
+    net.connect("gateway", "field", latency_cycles=2_000)
+
+    kernel = field.kernel
+
+    # The base station hands the image to the gateway's radio.
+    gateway.radio.deliver(image_bytes)
+    print(f"base station queued {len(image_bytes)} image bytes at the "
+          f"gateway")
+
+    net.run(max_cycles=80_000_000, until_all_finished=False)
+    link = net.link_between("gateway", "field")
+    print(f"link carried {link.delivered} bytes "
+          f"({link.dropped} dropped)")
+
+    rx = field.task_named("ota_rx")
+    # The byte count lives in the receiver's exit context (r25:r24);
+    # its heap may have been compacted after neighbouring exits.
+    received = rx.context.regs[24] | (rx.context.regs[25] << 8)
+    print(f"field node's OTA receiver: {rx.exit_reason or rx.state.value},"
+          f" {received} bytes received")
+    assert received == len(image_bytes) - 1
+
+    # Transfer verified: the node's reprogramming service installs it.
+    report = kernel.load_task("update", update_asm)
+    print(f"installed 'update': {report.flash_words} flash words, "
+          f"{report.total_cycles} cycles of install work")
+    field.run(max_instructions=60_000_000)
+    assert field.finished
+    update = field.task_named("update")
+    print("field node final state:")
+    for task in kernel.tasks.values():
+        print(f"  {task.name}: {task.exit_reason}")
+    assert update.exit_reason == "exit"
+    print(f"LED trail from the update: {field.leds.changes}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Quickstart: compile two programs, rewrite them, run them on one node.
+
+Walks the whole SenSmart pipeline (paper Figure 1):
+
+    source -> compiler -> rewriter -> linker -> kernel -> execution
+
+Both tasks use the *same logical addresses* for their data; SenSmart's
+logical addressing keeps them isolated without an MMU.
+"""
+
+from repro.kernel import SensorNode
+from repro.toolchain import link_image
+
+COUNTER_TASK = """
+; count to N, store the result at logical address 0x100
+.equ N = 25
+.bss result, 2
+main:
+    ldi r16, 0
+    ldi r17, N
+loop:
+    inc r16
+    dec r17
+    brne loop
+    sts result, r16
+    break
+"""
+
+BLINKER_TASK = """
+; toggle the LEDs a few times, then exit
+.bss flips, 1
+main:
+    ldi r16, 0x01
+    ldi r20, 6
+loop:
+    out 0x1B, r16       ; PORTA = LEDs
+    com r16
+    andi r16, 0x07
+    lds r18, flips
+    inc r18
+    sts flips, r18
+    dec r20
+    brne loop
+    break
+"""
+
+
+def main() -> None:
+    # 1. Base-station side: compile + rewrite + link.  (SensorNode
+    #    wraps this; shown explicitly here for the tour.)
+    image = link_image([("counter", COUNTER_TASK),
+                        ("blinker", BLINKER_TASK)])
+    for task in image.tasks:
+        stats = task.natural.stats
+        print(f"{task.name}: {stats.native_bytes} B native -> "
+              f"{stats.total_bytes} B naturalized "
+              f"(x{stats.inflation_ratio:.2f}), "
+              f"{stats.patched_sites} patched sites")
+    print(f"trampoline pool: {image.pool.count} slots "
+          f"({image.pool.requests} requests before merging)\n")
+
+    # 2. Node side: boot the kernel and run both tasks concurrently.
+    node = SensorNode.from_sources([("counter", COUNTER_TASK),
+                                    ("blinker", BLINKER_TASK)])
+    kernel = node.kernel
+    for region in kernel.regions.regions:
+        print(f"task {region.task_id} region: "
+              f"[{region.p_l:#06x}, {region.p_u:#06x}) "
+              f"heap {region.heap_size} B, stack {region.stack_size} B")
+
+    counter_region = kernel.regions.by_task(0)
+    node.run(max_instructions=1_000_000)
+
+    print(f"\nfinished: {node.finished} after {node.cpu.cycles} cycles "
+          f"({node.cpu.cycles / node.cpu.clock_hz * 1000:.2f} ms of "
+          f"mote time)")
+    # Both tasks wrote to logical 0x100; each landed in its own region.
+    print(f"counter result (its logical 0x100): "
+          f"{kernel.cpu.mem.data[counter_region.p_l]}")
+    print(f"LED changes recorded: {node.leds.changes}")
+    for task in kernel.tasks.values():
+        print(f"task {task.name!r}: {task.exit_reason}, "
+              f"{task.cycles_used} cycles used, "
+              f"{task.kernel_cycles} kernel cycles")
+
+
+if __name__ == "__main__":
+    main()

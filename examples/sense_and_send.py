@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Sense-and-send: the workload pattern the paper's evaluation models.
+
+Three concurrent application tasks on one mote:
+
+* ``sampler`` — periodically reads the ADC and keeps a running maximum
+  (the "data feeding" side);
+* ``compressor`` — a processing task doing CRC-style folding over its
+  buffer (computation between events);
+* ``reporter`` — assembles a small packet and clocks it out through the
+  radio.
+
+Each is an independent program with its own logical memory; SenSmart
+schedules them preemptively and the radio output proves end-to-end
+delivery.
+"""
+
+from repro.avr import ioports
+from repro.kernel import KernelConfig, SensorNode
+
+SAMPLER = f"""
+; periodically sample the ADC, track the max reading
+.bss max_reading, 2
+.bss samples, 1
+main:
+    ldi r16, hi8(1024)
+    sts {ioports.OCR3AH}, r16
+    ldi r16, lo8(1024)
+    sts {ioports.OCR3AL}, r16       ; 1024-tick virtual timer
+    ldi r20, 24                     ; samples to take
+sample_round:
+    sleep
+    ldi r18, {1 << ioports.ADSC}
+    sts {ioports.ADCSRA}, r18
+adc_poll:
+    lds r18, {ioports.ADCSRA}
+    sbrc r18, {ioports.ADSC}
+    rjmp adc_poll
+    lds r18, {ioports.ADCL}
+    lds r19, {ioports.ADCH}
+    lds r24, max_reading
+    lds r25, max_reading + 1
+    cp  r24, r18
+    cpc r25, r19
+    brsh not_bigger
+    sts max_reading, r18
+    sts max_reading + 1, r19
+not_bigger:
+    lds r16, samples
+    inc r16
+    sts samples, r16
+    dec r20
+    brne sample_round
+    break
+"""
+
+COMPRESSOR = """
+; fold a 48-byte buffer repeatedly (stand-in for compression)
+.bss window, 48
+.bss digest, 1
+main:
+    ldi r26, lo8(window)
+    ldi r27, hi8(window)
+    ldi r16, 48
+    ldi r17, 0x3C
+fill:
+    st X+, r17
+    subi r17, 0x29
+    dec r16
+    brne fill
+    ldi r20, 12                 ; passes
+pass_loop:
+    ldi r26, lo8(window)
+    ldi r27, hi8(window)
+    ldi r16, 48
+    ldi r18, 0
+fold:
+    ld r19, X+
+    eor r18, r19
+    lsl r18
+    adc r18, r16
+    dec r16
+    brne fold
+    sts digest, r18
+    dec r20
+    brne pass_loop
+    break
+"""
+
+REPORTER = f"""
+; build an 8-byte report and transmit it
+.bss report, 8
+.bss sent, 1
+main:
+    ldi r16, hi8(4096)
+    sts {ioports.OCR3AH}, r16
+    ldi r16, lo8(4096)
+    sts {ioports.OCR3AL}, r16
+    ldi r20, 3                  ; reports to send
+report_round:
+    sleep
+    ; header: magic, sequence; payload: pattern bytes
+    ldi r26, lo8(report)
+    ldi r27, hi8(report)
+    ldi r16, 0x7E
+    st X+, r16
+    lds r16, sent
+    st X+, r16
+    ldi r17, 6
+    ldi r16, 0xA0
+payload:
+    st X+, r16
+    inc r16
+    dec r17
+    brne payload
+    ; transmit
+    ldi r26, lo8(report)
+    ldi r27, hi8(report)
+    ldi r17, 8
+tx_loop:
+    ld r18, X+
+wait_ready:
+    lds r19, {ioports.UCSR0A}
+    sbrs r19, {ioports.UDRE}
+    rjmp wait_ready
+    sts {ioports.UDR0}, r18
+    dec r17
+    brne tx_loop
+    lds r16, sent
+    inc r16
+    sts sent, r16
+    dec r20
+    brne report_round
+    break
+"""
+
+
+def main() -> None:
+    node = SensorNode.from_sources(
+        [("sampler", SAMPLER), ("compressor", COMPRESSOR),
+         ("reporter", REPORTER)],
+        config=KernelConfig(time_slice_cycles=20_000))
+    kernel = node.kernel
+    sampler_heap = kernel.regions.by_task(0).p_l
+    node.run(max_instructions=20_000_000)
+
+    print(f"finished: {node.finished} in "
+          f"{node.cpu.cycles / node.cpu.clock_hz * 1000:.1f} ms mote time")
+    mem = kernel.cpu.mem.data
+    max_reading = mem[sampler_heap] | (mem[sampler_heap + 1] << 8)
+    print(f"sampler: {mem[sampler_heap + 2]} samples, "
+          f"max ADC reading {max_reading}")
+    packets = node.radio.packets
+    print(f"reporter transmitted {len(packets)} bytes:")
+    for offset in range(0, len(packets), 8):
+        frame = packets[offset:offset + 8]
+        print(f"  frame {frame.hex(' ')}  (seq {frame[1]})")
+    print(f"context switches: {kernel.stats.context_switches}, "
+          f"idle: {kernel.stats.idle_cycles} cycles "
+          f"({kernel.stats.idle_cycles / node.cpu.cycles:.0%})")
+    for task in kernel.tasks.values():
+        print(f"  {task.name}: {task.exit_reason}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Thin setup.py shim.
+
+The package metadata lives in pyproject.toml; this file exists so the
+package can be installed in environments without the ``wheel`` package
+(e.g. offline boxes) via ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""SenSmart reproduction: versatile stack management for multitasking
+sensor networks (ICDCS 2010), rebuilt as a Python library.
+
+Public API tour:
+
+* :mod:`repro.avr` — the mote substrate: AVR ISA subset, assembler,
+  cycle-counting CPU simulator, devices.
+* :mod:`repro.toolchain` — compile/link pipeline producing target images.
+* :mod:`repro.rewriter` — base-station binary translation (trampolines,
+  shift tables, grouped-access optimization).
+* :mod:`repro.kernel` — the SenSmart kernel runtime: logical addressing,
+  software-trap scheduling, stack relocation.
+* :mod:`repro.baselines` — native execution, t-kernel model, fixed-stack
+  OS model, Maté-like VM.
+* :mod:`repro.workloads` — the paper's benchmark programs.
+* :mod:`repro.experiments` — regeneration of every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from . import errors  # noqa: F401  (re-exported for convenience)

@@ -1,0 +1,6 @@
+"""Measurement and reporting helpers for the experiments."""
+
+from .inflation import inflation_breakdown
+from .report import format_table
+
+__all__ = ["inflation_breakdown", "format_table"]

@@ -1,0 +1,99 @@
+"""Energy model for MICA2-class nodes.
+
+Sensornet OS overhead ultimately matters as *energy*: the paper argues
+unpredictable latencies "make network level activity unreliable and
+energy-costly" (Section I).  This model converts a run's cycle
+accounting into milli-joules using the MICA2's published current draws
+(ATmega128L + CC1000 at 3 V), so experiments can report OS overhead in
+battery terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Current draws (mA at *voltage*) for the node's power states."""
+
+    active_ma: float = 8.0       # MCU running
+    idle_ma: float = 0.02        # power-save sleep, timer running
+    radio_tx_ma: float = 27.0    # CC1000 transmitting (adds to active)
+    adc_ma: float = 1.0          # ADC converting (adds to active)
+    voltage: float = 3.0
+    clock_hz: int = 7_372_800
+
+    def _mj(self, milliamps: float, cycles: int) -> float:
+        seconds = cycles / self.clock_hz
+        return milliamps * self.voltage * seconds  # mA*V*s = mJ
+
+    def report(self, total_cycles: int, idle_cycles: int = 0,
+               radio_cycles: int = 0,
+               adc_cycles: int = 0) -> "EnergyReport":
+        active_cycles = total_cycles - idle_cycles
+        return EnergyReport(
+            model=self,
+            total_cycles=total_cycles,
+            idle_cycles=idle_cycles,
+            cpu_mj=self._mj(self.active_ma, active_cycles),
+            sleep_mj=self._mj(self.idle_ma, idle_cycles),
+            radio_mj=self._mj(self.radio_tx_ma, radio_cycles),
+            adc_mj=self._mj(self.adc_ma, adc_cycles),
+        )
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy breakdown of one run."""
+
+    model: EnergyModel
+    total_cycles: int
+    idle_cycles: int
+    cpu_mj: float
+    sleep_mj: float
+    radio_mj: float
+    adc_mj: float
+
+    @property
+    def total_mj(self) -> float:
+        return self.cpu_mj + self.sleep_mj + self.radio_mj + self.adc_mj
+
+    @property
+    def seconds(self) -> float:
+        return self.total_cycles / self.model.clock_hz
+
+    def average_ma(self) -> float:
+        if self.seconds == 0:
+            return 0.0
+        return self.total_mj / self.model.voltage / self.seconds
+
+
+def measure_sensmart(node, model: EnergyModel = None) -> EnergyReport:
+    """Energy report for a finished :class:`SensorNode` run."""
+    model = model if model is not None else EnergyModel()
+    radio = node.devices.get("radio")
+    adc = node.devices.get("adc")
+    radio_cycles = len(radio.transmitted) * radio.byte_cycles \
+        if radio is not None else 0
+    adc_cycles = adc.samples_taken * adc.conversion_cycles \
+        if adc is not None else 0
+    return model.report(total_cycles=node.cpu.cycles,
+                        idle_cycles=node.kernel.stats.idle_cycles,
+                        radio_cycles=radio_cycles,
+                        adc_cycles=adc_cycles)
+
+
+def measure_native(result, model: EnergyModel = None) -> EnergyReport:
+    """Energy report for a :class:`NativeResult`."""
+    model = model if model is not None else EnergyModel()
+    radio = result.devices.get("radio")
+    adc = result.devices.get("adc")
+    radio_cycles = len(radio.transmitted) * radio.byte_cycles \
+        if radio is not None else 0
+    adc_cycles = adc.samples_taken * adc.conversion_cycles \
+        if adc is not None else 0
+    return model.report(total_cycles=result.cycles,
+                        idle_cycles=result.cpu.idle_cycles,
+                        radio_cycles=radio_cycles,
+                        adc_cycles=adc_cycles)

@@ -1,0 +1,50 @@
+"""Code-size decomposition helpers (Figure 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.tkernel.model import tkernel_inflation_bytes
+from ..rewriter.rewriter import Rewriter
+from ..toolchain.linker import link_image
+
+
+@dataclass(frozen=True)
+class InflationBreakdown:
+    """One program's code-size accounting across systems."""
+
+    name: str
+    native_bytes: int
+    sensmart_rewritten: int   # naturalized body (same instruction count)
+    sensmart_shift: int       # shift-table flash cost
+    sensmart_trampoline: int  # merged trampoline slots
+    tkernel_bytes: int        # per-site inline expansion model
+
+    @property
+    def sensmart_total(self) -> int:
+        return (self.sensmart_rewritten + self.sensmart_shift
+                + self.sensmart_trampoline)
+
+    @property
+    def sensmart_ratio(self) -> float:
+        return self.sensmart_total / self.native_bytes
+
+    @property
+    def tkernel_ratio(self) -> float:
+        return self.tkernel_bytes / self.native_bytes
+
+
+def inflation_breakdown(name: str, source: str,
+                        rewriter: Rewriter = None) -> InflationBreakdown:
+    """Measure all Figure 4 series for one program."""
+    image = link_image([(name, source)], rewriter=rewriter)
+    stats = image.tasks[0].natural.stats
+    tkernel = tkernel_inflation_bytes(source)
+    return InflationBreakdown(
+        name=name,
+        native_bytes=stats.native_bytes,
+        sensmart_rewritten=stats.rewritten_bytes,
+        sensmart_shift=stats.shift_table_bytes,
+        sensmart_trampoline=stats.trampoline_bytes,
+        tkernel_bytes=tkernel["naturalized_bytes"],
+    )

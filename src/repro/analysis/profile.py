@@ -1,0 +1,95 @@
+"""Flat execution profiles (the paper measures with Avrora; this is the
+equivalent facility for the simulator).
+
+Per-PC hit counts (from :meth:`AvrCpu.enable_profiling`) are folded per
+symbol — each label owns the addresses up to the next label — giving a
+function-level profile; a kernel-side trap histogram shows where
+naturalized programs spend their OS time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .report import format_table
+
+
+@dataclass
+class SymbolProfile:
+    symbol: str
+    address: int
+    executions: int
+    share: float
+
+
+@dataclass
+class FlatProfile:
+    total_executions: int
+    symbols: List[SymbolProfile] = field(default_factory=list)
+
+    def render(self, top: int = 10) -> str:
+        rows = [[s.symbol, f"{s.address:#06x}", s.executions,
+                 f"{100 * s.share:.1f}%"]
+                for s in self.symbols[:top]]
+        return format_table(
+            ["symbol", "address", "instructions", "share"], rows,
+            title=f"flat profile ({self.total_executions} instructions)")
+
+    def share_of(self, symbol: str) -> float:
+        for entry in self.symbols:
+            if entry.symbol == symbol:
+                return entry.share
+        return 0.0
+
+
+def flat_profile(counts: List[int],
+                 labels: Dict[str, int],
+                 origin: int = 0,
+                 limit: Optional[int] = None) -> FlatProfile:
+    """Fold per-PC counts into per-symbol totals.
+
+    *labels* maps symbol name -> word address (an ``AsmProgram.labels``
+    dict, shifted to the load address if needed).  Addresses before the
+    first label fold into ``<pre>``; trampoline hits are outside the
+    counts array's meaningful range for naturalized programs and are
+    reported by the kernel's trap histogram instead.
+    """
+    total = sum(counts)
+    ordered: List[Tuple[int, str]] = sorted(
+        (address, name) for name, address in labels.items())
+    per_symbol: Dict[str, int] = {}
+    sym_addr: Dict[str, int] = {}
+    boundaries = ordered + [(limit if limit is not None else len(counts),
+                             None)]
+    # Anything before the first label:
+    if ordered and ordered[0][0] > origin:
+        pre = sum(counts[origin:ordered[0][0]])
+        if pre:
+            per_symbol["<pre>"] = pre
+            sym_addr["<pre>"] = origin
+    for (address, name), (next_address, _) in zip(boundaries,
+                                                  boundaries[1:]):
+        if name is None:
+            break
+        hits = sum(counts[address:next_address])
+        if hits:
+            per_symbol[name] = per_symbol.get(name, 0) + hits
+            sym_addr.setdefault(name, address)
+    symbols = [SymbolProfile(symbol=name, address=sym_addr[name],
+                             executions=hits,
+                             share=hits / total if total else 0.0)
+               for name, hits in per_symbol.items()]
+    symbols.sort(key=lambda s: -s.executions)
+    return FlatProfile(total_executions=total, symbols=symbols)
+
+
+def trap_histogram(kernel) -> str:
+    """Render the kernel's per-kind trap counts."""
+    counts = getattr(kernel.stats, "trap_counts", {})
+    total = sum(counts.values()) or 1
+    rows = [[kind.value, count, f"{100 * count / total:.1f}%"]
+            for kind, count in
+            sorted(counts.items(), key=lambda item: -item[1])]
+    return format_table(["trap kind", "count", "share"], rows,
+                        title="kernel trap histogram")

@@ -1,0 +1,19 @@
+"""ATmega128L-like MCU substrate: ISA, assembler, simulator, devices."""
+
+from .assembler import AsmProgram, Assembler, assemble
+from .cpu import AvrCpu
+from .disassembler import disassemble, format_instruction
+from .encoding import decode, encode, instruction_words
+from .instruction import DataWord, Instruction
+from .isa import Format, Kind, OPCODES, OpSpec
+from .memory import DataMemory, Flash
+
+__all__ = [
+    "AsmProgram", "Assembler", "assemble",
+    "AvrCpu",
+    "disassemble", "format_instruction",
+    "decode", "encode", "instruction_words",
+    "DataWord", "Instruction",
+    "Format", "Kind", "OPCODES", "OpSpec",
+    "DataMemory", "Flash",
+]

@@ -1,0 +1,847 @@
+"""Cycle-counting AVR CPU simulator.
+
+The interpreter pre-decodes flash words into Python closures the first
+time each address executes (flash is immutable during execution, paper
+assumption III-A), so the hot loop is a dictionary-free closure call.
+
+Two integration points exist for the SenSmart kernel:
+
+* a *trap region* of flash word addresses: a ``JMP``/``CALL`` whose target
+  lies inside the region — or the PC landing there directly — invokes the
+  registered trap handler instead of executing machine code.  SenSmart's
+  trampolines live there;
+* *devices* registered with the CPU are serviced between instructions and
+  can raise interrupts or wake the CPU from sleep.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..errors import InvalidInstruction, SimulationError
+from . import ioports
+from .encoding import EncodingError, decode
+from .instruction import Instruction
+from .memory import DataMemory, Flash
+
+# SREG flag masks.
+C, Z, N, V, S, H, T, I = (1 << b for b in range(8))
+_ARITH = C | Z | N | V | S | H
+_LOGIC = Z | N | V | S
+_SHIFT = C | Z | N | V | S
+
+
+def _flags_add(a: int, b: int, carry_in: int, res: int) -> int:
+    """SREG bits (C,Z,N,V,S,H) for an 8-bit addition."""
+    full = a + b + carry_in
+    f = 0
+    if full > 0xFF:
+        f |= C
+    if res == 0:
+        f |= Z
+    if res & 0x80:
+        f |= N
+    if (~(a ^ b) & (a ^ res)) & 0x80:
+        f |= V
+    if ((f >> 2) ^ (f >> 3)) & 1:  # S = N xor V
+        f |= S
+    if ((a & 0xF) + (b & 0xF) + carry_in) > 0xF:
+        f |= H
+    return f
+
+
+def _flags_sub(a: int, b: int, carry_in: int, res: int) -> int:
+    """SREG bits (C,Z,N,V,S,H) for an 8-bit subtraction ``a - b - cin``."""
+    f = 0
+    if b + carry_in > a:
+        f |= C
+    if res == 0:
+        f |= Z
+    if res & 0x80:
+        f |= N
+    if ((a ^ b) & (a ^ res)) & 0x80:
+        f |= V
+    if ((f >> 2) ^ (f >> 3)) & 1:
+        f |= S
+    if (b & 0xF) + carry_in > (a & 0xF):
+        f |= H
+    return f
+
+
+def _flags_logic(res: int) -> int:
+    """SREG bits for AND/OR/EOR: V cleared, S = N."""
+    f = 0
+    if res == 0:
+        f |= Z
+    if res & 0x80:
+        f |= N | S
+    return f
+
+
+class AvrCpu:
+    """The simulated ATmega128L core."""
+
+    def __init__(self, flash: Flash, memory: Optional[DataMemory] = None,
+                 clock_hz: int = 7_372_800):
+        self.flash = flash
+        self.mem = memory if memory is not None else DataMemory()
+        self.clock_hz = clock_hz
+        self.r = bytearray(32)
+        self.pc = 0
+        self.sp = ioports.RAM_END
+        self.sreg = 0
+        self.cycles = 0
+        self.idle_cycles = 0  # cycles skipped while sleeping
+        self.instret = 0
+        self.sleeping = False
+        self.halted = False
+        self._exec: List[Optional[Callable[[], None]]] = \
+            [None] * flash.size_words
+        self._devices: List = []
+        self._pending_irqs: List[int] = []
+        self.device_alarm = float("inf")
+        self._trap_ranges: List = []  # [(lo, hi)] word-address ranges
+        self._trap_lo = -1  # envelope for the hot-path check
+        self._trap_hi = -1
+        self._trap_handler: Optional[Callable] = None
+        self.profile: Optional[List[int]] = None  # per-PC hit counts
+
+    # -- configuration --------------------------------------------------------
+
+    def attach_device(self, device) -> None:
+        """Register a device (timer/ADC/...) for inter-instruction service."""
+        self._devices.append(device)
+        device.attach(self)
+
+    def set_trap_region(self, lo: int, hi: int, handler) -> None:
+        """Route execution entering flash words [*lo*, *hi*) to *handler*.
+
+        ``handler(cpu, site, target, is_call)`` receives the word address of
+        the patched site (``-1`` if the PC landed in the region without a
+        patched ``JMP/CALL``, e.g. through ``IJMP``), the trampoline word
+        address, and whether the site used ``CALL`` semantics.
+        """
+        self._trap_ranges = [(lo, hi)]
+        self._trap_handler = handler
+        self._update_trap_envelope()
+        # Invalidate decoded thunks: targets may now trap.
+        self._exec = [None] * self.flash.size_words
+
+    def add_trap_region(self, lo: int, hi: int) -> None:
+        """Add another trapped range (dynamic task loading appends new
+        trampoline regions after the original image)."""
+        self._trap_ranges.append((lo, hi))
+        self._update_trap_envelope()
+        self._exec = [None] * self.flash.size_words
+
+    def _update_trap_envelope(self) -> None:
+        if self._trap_ranges:
+            self._trap_lo = min(lo for lo, _ in self._trap_ranges)
+            self._trap_hi = max(hi for _, hi in self._trap_ranges)
+        else:
+            self._trap_lo = self._trap_hi = -1
+
+    def in_trap_region(self, address: int) -> bool:
+        if not self._trap_lo <= address < self._trap_hi:
+            return False
+        return any(lo <= address < hi for lo, hi in self._trap_ranges)
+
+    def invalidate_decode(self) -> None:
+        """Drop decoded closures (call after re-burning flash)."""
+        self._exec = [None] * self.flash.size_words
+
+    def enable_profiling(self) -> None:
+        """Count executions per PC (Avrora-style flat profile).
+
+        Adds one array increment per instruction; enable only when the
+        profile is wanted.
+        """
+        self.profile = [0] * self.flash.size_words
+        self.invalidate_decode()
+
+    def raise_interrupt(self, vector: int) -> None:
+        self._pending_irqs.append(vector)
+        self.sleeping = False
+
+    def schedule_alarm(self, cycle: int) -> None:
+        """Ask for device service at or after the given cycle count."""
+        if cycle < self.device_alarm:
+            self.device_alarm = cycle
+
+    # -- data-space access ------------------------------------------------------
+
+    def data_read(self, address: int) -> int:
+        if address < 0x20:
+            return self.r[address]
+        if address == ioports.SPL:
+            return self.sp & 0xFF
+        if address == ioports.SPH:
+            return (self.sp >> 8) & 0xFF
+        if address == ioports.SREG:
+            return self.sreg
+        return self.mem.read(address)
+
+    def data_write(self, address: int, value: int) -> None:
+        value &= 0xFF
+        if address < 0x20:
+            self.r[address] = value
+            return
+        if address == ioports.SPL:
+            self.sp = (self.sp & 0xFF00) | value
+            return
+        if address == ioports.SPH:
+            self.sp = (value << 8) | (self.sp & 0x00FF)
+            return
+        if address == ioports.SREG:
+            self.sreg = value
+            return
+        self.mem.write(address, value)
+
+    def push_byte(self, value: int) -> None:
+        self.data_write(self.sp, value)
+        self.sp = (self.sp - 1) & 0xFFFF
+
+    def pop_byte(self) -> int:
+        self.sp = (self.sp + 1) & 0xFFFF
+        return self.data_read(self.sp)
+
+    def push_word(self, value: int) -> None:
+        self.push_byte(value & 0xFF)
+        self.push_byte((value >> 8) & 0xFF)
+
+    def pop_word(self) -> int:
+        high = self.pop_byte()
+        return (high << 8) | self.pop_byte()
+
+    # -- register-pair helpers ---------------------------------------------------
+
+    def get_pair(self, lo_reg: int) -> int:
+        return self.r[lo_reg] | (self.r[lo_reg + 1] << 8)
+
+    def set_pair(self, lo_reg: int, value: int) -> None:
+        self.r[lo_reg] = value & 0xFF
+        self.r[lo_reg + 1] = (value >> 8) & 0xFF
+
+    # -- execution -----------------------------------------------------------------
+
+    def step(self) -> None:
+        """Execute exactly one instruction (or service one interrupt)."""
+        if self._pending_irqs and (self.sreg & I):
+            self._enter_interrupt(self._pending_irqs.pop(0))
+            return
+        pc = self.pc
+        if self._trap_lo <= pc < self._trap_hi and \
+                self.in_trap_region(pc):
+            self._trap_handler(self, -1, pc, False)
+            self.instret += 1
+            return
+        thunk = self._exec[pc]
+        if thunk is None:
+            thunk = self._decode_at(pc)
+        thunk()
+        self.instret += 1
+
+    def run(self, max_cycles: Optional[int] = None,
+            max_instructions: Optional[int] = None,
+            until: Optional[Callable[["AvrCpu"], bool]] = None) -> None:
+        """Run until halted, a limit is reached, or *until(cpu)* is true."""
+        while not self.halted:
+            if self.sleeping:
+                if not self._advance_to_next_event(max_cycles):
+                    return
+                continue
+            self.step()
+            if self.cycles >= self.device_alarm:
+                self._service_devices()
+            if max_cycles is not None and self.cycles >= max_cycles:
+                return
+            if max_instructions is not None and \
+                    self.instret >= max_instructions:
+                return
+            if until is not None and until(self):
+                return
+
+    def _service_devices(self) -> None:
+        self.device_alarm = float("inf")
+        for device in self._devices:
+            device.service(self)
+
+    def _advance_to_next_event(self, max_cycles: Optional[int]) -> bool:
+        """Fast-forward a sleeping CPU to the next device event.
+
+        Returns False when there is nothing to wake up for (deadlock) or
+        the cycle limit was consumed by the skip.
+        """
+        wake_cycles = [w for w in
+                       (d.next_event_cycle(self) for d in self._devices)
+                       if w is not None]
+        if not wake_cycles:
+            raise SimulationError(
+                "CPU is sleeping with no device event to wake it")
+        wake = max(min(wake_cycles), self.cycles + 1)
+        if max_cycles is not None and wake >= max_cycles:
+            self.idle_cycles += max_cycles - self.cycles
+            self.cycles = max_cycles
+            return False
+        self.idle_cycles += wake - self.cycles
+        self.cycles = wake
+        self._service_devices()
+        if self._pending_irqs:
+            self.sleeping = False
+        return True
+
+    def _enter_interrupt(self, vector: int) -> None:
+        self.push_word(self.pc)
+        self.sreg &= ~I
+        self.pc = vector
+        self.cycles += 4
+        self.sleeping = False
+
+    # -- decoding into closures ---------------------------------------------------
+
+    def _decode_at(self, pc: int) -> Callable[[], None]:
+        word = self.flash.word(pc)
+        next_word = self.flash.word(pc + 1) \
+            if pc + 1 < self.flash.size_words else None
+        try:
+            instr = decode(word, next_word, pc)
+        except EncodingError:
+            raise InvalidInstruction(pc, word) from None
+        thunk = self._build(instr)
+        if self.profile is not None:
+            inner = thunk
+            profile = self.profile
+
+            def thunk(address=pc, inner=inner, profile=profile):
+                profile[address] += 1
+                inner()
+        self._exec[pc] = thunk
+        return thunk
+
+    def _skip_cycles_and_target(self, after: int) -> (int, int):
+        """(extra cycles, new pc) when skipping the instruction at *after*."""
+        size = self.flash.instruction_size(after)
+        return size, after + size
+
+    def _build(self, ins: Instruction) -> Callable[[], None]:
+        """Compile *ins* into an executable closure."""
+        cpu = self
+        r = self.r
+        m = ins.mnemonic
+        ops = ins.operands
+        nxt = ins.next_address
+
+        # --- two-register ALU ---
+        if m in ("ADD", "ADC"):
+            d, rr = ops
+            with_carry = m == "ADC"
+            def run():
+                a, b = r[d], r[rr]
+                cin = cpu.sreg & C if with_carry else 0
+                res = (a + b + cin) & 0xFF
+                r[d] = res
+                cpu.sreg = (cpu.sreg & ~_ARITH) | _flags_add(a, b, cin, res)
+                cpu.pc = nxt
+                cpu.cycles += 1
+            return run
+        if m in ("SUB", "SBC", "CP", "CPC"):
+            d, rr = ops
+            with_carry = m in ("SBC", "CPC")
+            writeback = m in ("SUB", "SBC")
+            keep_z = m in ("SBC", "CPC")
+            def run():
+                a, b = r[d], r[rr]
+                cin = cpu.sreg & C if with_carry else 0
+                res = (a - b - cin) & 0xFF
+                if writeback:
+                    r[d] = res
+                f = _flags_sub(a, b, cin, res)
+                if keep_z:  # Z only survives if it was already set
+                    f = (f & ~Z) | (f & Z & cpu.sreg)
+                cpu.sreg = (cpu.sreg & ~_ARITH) | f
+                cpu.pc = nxt
+                cpu.cycles += 1
+            return run
+        if m in ("AND", "OR", "EOR"):
+            d, rr = ops
+            op = {"AND": lambda a, b: a & b, "OR": lambda a, b: a | b,
+                  "EOR": lambda a, b: a ^ b}[m]
+            def run():
+                res = op(r[d], r[rr])
+                r[d] = res
+                cpu.sreg = (cpu.sreg & ~_LOGIC) | _flags_logic(res)
+                cpu.pc = nxt
+                cpu.cycles += 1
+            return run
+        if m == "MOV":
+            d, rr = ops
+            def run():
+                r[d] = r[rr]
+                cpu.pc = nxt
+                cpu.cycles += 1
+            return run
+        if m == "MOVW":
+            d, rr = ops
+            def run():
+                r[d] = r[rr]
+                r[d + 1] = r[rr + 1]
+                cpu.pc = nxt
+                cpu.cycles += 1
+            return run
+        if m == "MUL":
+            d, rr = ops
+            def run():
+                prod = r[d] * r[rr]
+                r[0] = prod & 0xFF
+                r[1] = (prod >> 8) & 0xFF
+                f = 0
+                if prod & 0x8000:
+                    f |= C
+                if prod == 0:
+                    f |= Z
+                cpu.sreg = (cpu.sreg & ~(C | Z)) | f
+                cpu.pc = nxt
+                cpu.cycles += 2
+            return run
+        if m == "CPSE":
+            d, rr = ops
+            def run():
+                cpu.cycles += 1
+                if r[d] == r[rr]:
+                    extra, target = cpu._skip_cycles_and_target(nxt)
+                    cpu.cycles += extra
+                    cpu.pc = target
+                else:
+                    cpu.pc = nxt
+            return run
+
+        # --- single-register ALU ---
+        if m in ("COM", "NEG", "SWAP", "INC", "ASR", "LSR", "ROR", "DEC"):
+            (d,) = ops
+            return self._build_rd(m, d, nxt)
+
+        # --- register-immediate ALU ---
+        if m in ("SUBI", "SBCI", "CPI"):
+            d, k = ops
+            with_carry = m == "SBCI"
+            writeback = m != "CPI"
+            def run():
+                a = r[d]
+                cin = cpu.sreg & C if with_carry else 0
+                res = (a - k - cin) & 0xFF
+                if writeback:
+                    r[d] = res
+                f = _flags_sub(a, k, cin, res)
+                if with_carry:
+                    f = (f & ~Z) | (f & Z & cpu.sreg)
+                cpu.sreg = (cpu.sreg & ~_ARITH) | f
+                cpu.pc = nxt
+                cpu.cycles += 1
+            return run
+        if m in ("ANDI", "ORI"):
+            d, k = ops
+            is_and = m == "ANDI"
+            def run():
+                res = (r[d] & k) if is_and else (r[d] | k)
+                r[d] = res
+                cpu.sreg = (cpu.sreg & ~_LOGIC) | _flags_logic(res)
+                cpu.pc = nxt
+                cpu.cycles += 1
+            return run
+        if m == "LDI":
+            d, k = ops
+            def run():
+                r[d] = k
+                cpu.pc = nxt
+                cpu.cycles += 1
+            return run
+        if m in ("ADIW", "SBIW"):
+            d, k = ops
+            is_add = m == "ADIW"
+            def run():
+                value = r[d] | (r[d + 1] << 8)
+                res = (value + k) & 0xFFFF if is_add else (value - k) & 0xFFFF
+                r[d] = res & 0xFF
+                r[d + 1] = res >> 8
+                f = 0
+                res15 = res >> 15
+                val15 = value >> 15
+                if is_add:
+                    if (~val15 & res15) & 1:
+                        f |= V
+                    if (val15 & ~res15) & 1:
+                        f |= C
+                else:
+                    if (val15 & ~res15) & 1:
+                        f |= V
+                    if (res15 & ~val15) & 1:
+                        f |= C
+                if res == 0:
+                    f |= Z
+                if res & 0x8000:
+                    f |= N
+                if ((f >> 2) ^ (f >> 3)) & 1:
+                    f |= S
+                cpu.sreg = (cpu.sreg & ~(C | Z | N | V | S)) | f
+                cpu.pc = nxt
+                cpu.cycles += 2
+            return run
+
+        # --- data memory ---
+        if m in ("LD", "ST"):
+            d, mode = ops
+            return self._build_ldst_ptr(m == "ST", d, mode, nxt)
+        if m in ("LDD", "STD"):
+            d, ptr, q = ops
+            base = 28 if ptr == "Y" else 30
+            is_store = m == "STD"
+            def run():
+                address = (r[base] | (r[base + 1] << 8)) + q
+                if is_store:
+                    cpu.data_write(address, r[d])
+                else:
+                    r[d] = cpu.data_read(address)
+                cpu.pc = nxt
+                cpu.cycles += 2
+            return run
+        if m in ("LDS", "STS"):
+            d, k = ops
+            is_store = m == "STS"
+            def run():
+                if is_store:
+                    cpu.data_write(k, r[d])
+                else:
+                    r[d] = cpu.data_read(k)
+                cpu.pc = nxt
+                cpu.cycles += 2
+            return run
+        if m == "PUSH":
+            (d,) = ops
+            def run():
+                cpu.push_byte(r[d])
+                cpu.pc = nxt
+                cpu.cycles += 2
+            return run
+        if m == "POP":
+            (d,) = ops
+            def run():
+                r[d] = cpu.pop_byte()
+                cpu.pc = nxt
+                cpu.cycles += 2
+            return run
+        if m == "LPM":
+            d, mode = ops
+            post_inc = mode == "Z+"
+            def run():
+                z = r[30] | (r[31] << 8)
+                r[d] = cpu.flash.byte(z)
+                if post_inc:
+                    z = (z + 1) & 0xFFFF
+                    r[30] = z & 0xFF
+                    r[31] = z >> 8
+                cpu.pc = nxt
+                cpu.cycles += 3
+            return run
+
+        # --- I/O ---
+        if m == "IN":
+            d, a = ops
+            address = ioports.io_to_data(a)
+            def run():
+                r[d] = cpu.data_read(address)
+                cpu.pc = nxt
+                cpu.cycles += 1
+            return run
+        if m == "OUT":
+            a, rr = ops
+            address = ioports.io_to_data(a)
+            def run():
+                cpu.data_write(address, r[rr])
+                cpu.pc = nxt
+                cpu.cycles += 1
+            return run
+        if m in ("SBI", "CBI"):
+            a, b = ops
+            address = ioports.io_to_data(a)
+            mask = 1 << b
+            is_set = m == "SBI"
+            def run():
+                value = cpu.data_read(address)
+                value = value | mask if is_set else value & ~mask
+                cpu.data_write(address, value)
+                cpu.pc = nxt
+                cpu.cycles += 2
+            return run
+        if m in ("SBIC", "SBIS"):
+            a, b = ops
+            address = ioports.io_to_data(a)
+            mask = 1 << b
+            skip_if_set = m == "SBIS"
+            def run():
+                cpu.cycles += 1
+                bit = bool(cpu.data_read(address) & mask)
+                if bit == skip_if_set:
+                    extra, target = cpu._skip_cycles_and_target(nxt)
+                    cpu.cycles += extra
+                    cpu.pc = target
+                else:
+                    cpu.pc = nxt
+            return run
+
+        # --- control flow ---
+        if m == "RJMP":
+            (k,) = ops
+            target = nxt + k
+            def run():
+                cpu.pc = target
+                cpu.cycles += 2
+            return run
+        if m == "RCALL":
+            (k,) = ops
+            target = nxt + k
+            def run():
+                cpu.push_word(nxt)
+                cpu.pc = target
+                cpu.cycles += 3
+            return run
+        if m == "JMP":
+            (k,) = ops
+            if self.in_trap_region(k):
+                return self._build_trap(ins.address, k, is_call=False)
+            def run():
+                cpu.pc = k
+                cpu.cycles += 3
+            return run
+        if m == "CALL":
+            (k,) = ops
+            if self.in_trap_region(k):
+                return self._build_trap(ins.address, k, is_call=True)
+            def run():
+                cpu.push_word(nxt)
+                cpu.pc = k
+                cpu.cycles += 4
+            return run
+        if m == "IJMP":
+            def run():
+                cpu.pc = r[30] | (r[31] << 8)
+                cpu.cycles += 2
+            return run
+        if m == "ICALL":
+            def run():
+                cpu.push_word(nxt)
+                cpu.pc = r[30] | (r[31] << 8)
+                cpu.cycles += 3
+            return run
+        if m in ("RET", "RETI"):
+            enable_i = m == "RETI"
+            def run():
+                cpu.pc = cpu.pop_word()
+                if enable_i:
+                    cpu.sreg |= I
+                cpu.cycles += 4
+            return run
+        if m in ("BRBS", "BRBC"):
+            s, k = ops
+            mask = 1 << s
+            branch_if_set = m == "BRBS"
+            target = nxt + k
+            def run():
+                if bool(cpu.sreg & mask) == branch_if_set:
+                    cpu.pc = target
+                    cpu.cycles += 2
+                else:
+                    cpu.pc = nxt
+                    cpu.cycles += 1
+            return run
+        if m in ("SBRC", "SBRS"):
+            rr, b = ops
+            mask = 1 << b
+            skip_if_set = m == "SBRS"
+            def run():
+                cpu.cycles += 1
+                if bool(r[rr] & mask) == skip_if_set:
+                    extra, target = cpu._skip_cycles_and_target(nxt)
+                    cpu.cycles += extra
+                    cpu.pc = target
+                else:
+                    cpu.pc = nxt
+            return run
+
+        # --- flags and bits ---
+        if m in ("BSET", "BCLR"):
+            (s,) = ops
+            mask = 1 << s
+            is_set = m == "BSET"
+            def run():
+                if is_set:
+                    cpu.sreg |= mask
+                else:
+                    cpu.sreg &= ~mask
+                cpu.pc = nxt
+                cpu.cycles += 1
+            return run
+        if m == "BLD":
+            d, b = ops
+            mask = 1 << b
+            def run():
+                if cpu.sreg & T:
+                    r[d] |= mask
+                else:
+                    r[d] &= ~mask
+                cpu.pc = nxt
+                cpu.cycles += 1
+            return run
+        if m == "BST":
+            d, b = ops
+            mask = 1 << b
+            def run():
+                if r[d] & mask:
+                    cpu.sreg |= T
+                else:
+                    cpu.sreg &= ~T
+                cpu.pc = nxt
+                cpu.cycles += 1
+            return run
+
+        # --- CPU control ---
+        if m == "NOP" or m == "WDR":
+            def run():
+                cpu.pc = nxt
+                cpu.cycles += 1
+            return run
+        if m == "SLEEP":
+            def run():
+                cpu.sleeping = True
+                cpu.pc = nxt
+                cpu.cycles += 1
+            return run
+        if m == "BREAK":
+            def run():
+                cpu.halted = True
+                cpu.pc = nxt
+                cpu.cycles += 1
+            return run
+
+        raise InvalidInstruction(ins.address,
+                                 self.flash.word(ins.address))
+
+    def _build_rd(self, m: str, d: int, nxt: int) -> Callable[[], None]:
+        cpu, r = self, self.r
+
+        if m == "COM":
+            def run():
+                res = (~r[d]) & 0xFF
+                r[d] = res
+                f = C | _flags_logic(res)
+                cpu.sreg = (cpu.sreg & ~_SHIFT) | f
+                cpu.pc = nxt
+                cpu.cycles += 1
+            return run
+        if m == "NEG":
+            def run():
+                a = r[d]
+                res = (-a) & 0xFF
+                r[d] = res
+                f = 0
+                if res != 0:
+                    f |= C
+                if res == 0:
+                    f |= Z
+                if res & 0x80:
+                    f |= N
+                if res == 0x80:
+                    f |= V
+                if ((f >> 2) ^ (f >> 3)) & 1:
+                    f |= S
+                if (res | a) & 0x08:
+                    f |= H
+                cpu.sreg = (cpu.sreg & ~_ARITH) | f
+                cpu.pc = nxt
+                cpu.cycles += 1
+            return run
+        if m == "SWAP":
+            def run():
+                a = r[d]
+                r[d] = ((a << 4) | (a >> 4)) & 0xFF
+                cpu.pc = nxt
+                cpu.cycles += 1
+            return run
+        if m in ("INC", "DEC"):
+            is_inc = m == "INC"
+            def run():
+                a = r[d]
+                res = (a + 1) & 0xFF if is_inc else (a - 1) & 0xFF
+                r[d] = res
+                f = 0
+                if res == 0:
+                    f |= Z
+                if res & 0x80:
+                    f |= N
+                if (is_inc and res == 0x80) or (not is_inc and res == 0x7F):
+                    f |= V
+                if ((f >> 2) ^ (f >> 3)) & 1:
+                    f |= S
+                cpu.sreg = (cpu.sreg & ~_LOGIC) | f
+                cpu.pc = nxt
+                cpu.cycles += 1
+            return run
+        if m in ("LSR", "ROR", "ASR"):
+            def run():
+                a = r[d]
+                carry_out = a & 1
+                if m == "LSR":
+                    res = a >> 1
+                elif m == "ROR":
+                    res = (a >> 1) | ((cpu.sreg & C) << 7)
+                else:  # ASR
+                    res = (a >> 1) | (a & 0x80)
+                r[d] = res
+                f = carry_out
+                if res == 0:
+                    f |= Z
+                if res & 0x80:
+                    f |= N
+                # V = N xor C (post-shift)
+                if bool(f & N) != bool(carry_out):
+                    f |= V
+                if ((f >> 2) ^ (f >> 3)) & 1:
+                    f |= S
+                cpu.sreg = (cpu.sreg & ~_SHIFT) | f
+                cpu.pc = nxt
+                cpu.cycles += 1
+            return run
+        raise AssertionError(f"unhandled RD op {m}")  # pragma: no cover
+
+    def _build_ldst_ptr(self, is_store: bool, d: int, mode: str,
+                        nxt: int) -> Callable[[], None]:
+        cpu, r = self, self.r
+        base = {"X": 26, "Y": 28, "Z": 30}[mode.strip("+-")]
+        pre_dec = mode.startswith("-")
+        post_inc = mode.endswith("+")
+
+        def run():
+            address = r[base] | (r[base + 1] << 8)
+            if pre_dec:
+                address = (address - 1) & 0xFFFF
+            if is_store:
+                cpu.data_write(address, r[d])
+            else:
+                r[d] = cpu.data_read(address)
+            if post_inc:
+                new = (address + 1) & 0xFFFF
+                r[base] = new & 0xFF
+                r[base + 1] = new >> 8
+            elif pre_dec:
+                r[base] = address & 0xFF
+                r[base + 1] = address >> 8
+            cpu.pc = nxt
+            cpu.cycles += 2
+        return run
+
+    def _build_trap(self, site: int, target: int,
+                    is_call: bool) -> Callable[[], None]:
+        cpu = self
+
+        def run():
+            cpu._trap_handler(cpu, site, target, is_call)
+        return run

@@ -1,0 +1,8 @@
+"""Peripheral devices of the simulated mote."""
+
+from .adc import Adc
+from .leds import Leds
+from .radio import Radio
+from .timer import Timer0, Timer3
+
+__all__ = ["Adc", "Leds", "Radio", "Timer0", "Timer3"]

@@ -1,0 +1,102 @@
+"""ADC with a deterministic synthetic signal source.
+
+A real MICA2 samples microphone/magnetometer/photo channels.  We feed the
+converter a seeded, reproducible waveform: a coarse triangle wave plus
+LFSR noise, chosen so amplitude-style workloads see realistic variation
+without any dependency on non-deterministic randomness.
+
+Conversion timing follows the ATmega128L: a conversion takes 13 ADC
+clocks; with the default /64 prescaler that is 832 CPU cycles.  Programs
+start a conversion by setting ``ADSC`` in ``ADCSRA`` and poll until the
+bit clears (or wait for ``ADIF``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .. import ioports
+
+CONVERSION_ADC_CLOCKS = 13
+
+
+class Adc:
+    """Successive-approximation ADC, 10-bit results in ADCL/ADCH."""
+
+    def __init__(self, prescaler: int = 64, seed: int = 0xACE1):
+        self.prescaler = prescaler
+        self.seed = seed & 0xFFFF or 0xACE1
+        self._lfsr = self.seed
+        self.samples_taken = 0
+        self.channel = 0
+        self._cpu = None
+        self._busy_until: Optional[int] = None
+        self._result = 0
+
+    @property
+    def conversion_cycles(self) -> int:
+        return CONVERSION_ADC_CLOCKS * self.prescaler
+
+    def attach(self, cpu) -> None:
+        self._cpu = cpu
+        mem = cpu.mem
+        mem.install_read_hook(ioports.ADCL, lambda: self._result & 0xFF)
+        mem.install_read_hook(ioports.ADCH, lambda: self._result >> 8)
+        mem.install_read_hook(ioports.ADCSRA, self._read_status)
+        mem.install_write_hook(ioports.ADCSRA, self._write_control)
+        mem.install_read_hook(ioports.ADMUX, lambda: self.channel)
+        mem.install_write_hook(ioports.ADMUX, self._write_mux)
+
+    # -- signal generation ----------------------------------------------------
+
+    def _next_noise(self) -> int:
+        # 16-bit Fibonacci LFSR (taps 16, 14, 13, 11).
+        lfsr = self._lfsr
+        bit = ((lfsr >> 0) ^ (lfsr >> 2) ^ (lfsr >> 3) ^ (lfsr >> 5)) & 1
+        self._lfsr = (lfsr >> 1) | (bit << 15)
+        return self._lfsr & 0x3F  # 6 bits of noise
+
+    def sample_value(self) -> int:
+        """Next 10-bit sample: triangle wave + LFSR noise."""
+        index = self.samples_taken
+        self.samples_taken += 1
+        period = 64
+        phase = index % period
+        triangle = phase * 2 if phase < period // 2 else \
+            (period - phase) * 2
+        base = 300 + triangle * 8  # swings 300..~812
+        return min(0x3FF, base + self._next_noise())
+
+    # -- register behaviour ------------------------------------------------------
+
+    def _read_status(self) -> int:
+        status = 1 << ioports.ADEN
+        if self._busy_until is not None:
+            if self._cpu.cycles >= self._busy_until:
+                self._complete()
+            else:
+                status |= 1 << ioports.ADSC
+        if self._busy_until is None and self.samples_taken:
+            status |= 1 << ioports.ADIF
+        return status
+
+    def _write_control(self, value: int) -> None:
+        if value & (1 << ioports.ADSC) and self._busy_until is None:
+            self._busy_until = self._cpu.cycles + self.conversion_cycles
+            self._cpu.schedule_alarm(self._busy_until)
+
+    def _write_mux(self, value: int) -> None:
+        self.channel = value & 0x1F
+
+    def _complete(self) -> None:
+        self._result = self.sample_value()
+        self._busy_until = None
+
+    # -- device protocol -------------------------------------------------------------
+
+    def service(self, cpu) -> None:
+        if self._busy_until is not None and cpu.cycles >= self._busy_until:
+            self._complete()
+
+    def next_event_cycle(self, cpu) -> Optional[int]:
+        return self._busy_until

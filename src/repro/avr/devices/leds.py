@@ -1,0 +1,35 @@
+"""LED device (re-exported from radio module's sibling definition).
+
+Kept as its own module for discoverability; the implementation lives
+here to avoid a circular import.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .. import ioports
+
+
+class Leds:
+    """Three debug LEDs on PORTA, recording every state change."""
+
+    def __init__(self):
+        self.state = 0
+        self.changes: List[int] = []
+        self._cpu = None
+
+    def attach(self, cpu) -> None:
+        self._cpu = cpu
+        cpu.mem.install_read_hook(ioports.PORTA, lambda: self.state)
+        cpu.mem.install_write_hook(ioports.PORTA, self._write)
+
+    def _write(self, value: int) -> None:
+        self.state = value & 0x07
+        self.changes.append(self.state)
+
+    def service(self, cpu) -> None:
+        pass
+
+    def next_event_cycle(self, cpu) -> Optional[int]:
+        return None

@@ -1,0 +1,78 @@
+"""Byte-oriented radio device standing in for the mote radio path.
+
+On a MICA2 the CC1000 radio is fed byte-by-byte; the behaviourally
+relevant properties for OS benchmarks are a data register with ready
+flags and a per-byte latency.  Transmitted bytes are logged so tests
+and workloads can verify packet contents end-to-end; received bytes are
+injected from the host side (``deliver``), which is how multi-node
+setups wire one node's TX log into another's RX queue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from .. import ioports
+
+#: CPU cycles to clock one byte out at ~38.4 kbaud on a 7.37 MHz MCU.
+DEFAULT_BYTE_CYCLES = 1920
+
+#: UCSR0A bit signalling a received byte is waiting (real AVR: RXC).
+RXC = 7
+
+
+class Radio:
+    """Radio front end mapped at UDR0/UCSR0A (TX log + RX queue)."""
+
+    def __init__(self, byte_cycles: int = DEFAULT_BYTE_CYCLES):
+        self.byte_cycles = byte_cycles
+        self.transmitted: List[int] = []
+        self.rx_queue: Deque[int] = deque()
+        self._cpu = None
+        self._busy_until: Optional[int] = None
+
+    def attach(self, cpu) -> None:
+        self._cpu = cpu
+        cpu.mem.install_read_hook(ioports.UCSR0A, self._read_status)
+        cpu.mem.install_write_hook(ioports.UDR0, self._write_data)
+        cpu.mem.install_read_hook(ioports.UDR0, self._read_data)
+
+    def deliver(self, payload: bytes) -> None:
+        """Host-side injection: queue *payload* for the node to read."""
+        self.rx_queue.extend(payload)
+
+    @property
+    def packets(self) -> bytes:
+        return bytes(self.transmitted)
+
+    def _ready(self) -> bool:
+        return self._busy_until is None or \
+            self._cpu.cycles >= self._busy_until
+
+    def _read_status(self) -> int:
+        status = 0
+        if self._ready():
+            status |= (1 << ioports.UDRE) | (1 << ioports.TXC)
+        if self.rx_queue:
+            status |= 1 << RXC
+        return status
+
+    def _write_data(self, value: int) -> None:
+        # Writes while busy are dropped, as on real hardware.
+        if not self._ready():
+            return
+        self.transmitted.append(value)
+        self._busy_until = self._cpu.cycles + self.byte_cycles
+
+    def _read_data(self) -> int:
+        if self.rx_queue:
+            return self.rx_queue.popleft()
+        return 0
+
+    def service(self, cpu) -> None:
+        if self._busy_until is not None and cpu.cycles >= self._busy_until:
+            self._busy_until = None
+
+    def next_event_cycle(self, cpu) -> Optional[int]:
+        return self._busy_until

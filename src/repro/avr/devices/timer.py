@@ -1,0 +1,154 @@
+"""Hardware timers.
+
+Timer values are computed lazily from the CPU cycle counter instead of
+being ticked per instruction, which keeps the simulator fast.  Timer3
+additionally supports an output-compare interrupt — the wake-up source
+for natively-executing periodic programs (under SenSmart the kernel owns
+Timer3 and applications reach it only through intercepted accesses).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .. import ioports
+
+
+class _TimerBase:
+    """Common lazy-counter machinery."""
+
+    def __init__(self, prescaler: int = 8):
+        self.prescaler = prescaler
+        self._cpu = None
+        self._base_cycle = 0  # cycle at which the counter read 0
+
+    def attach(self, cpu) -> None:
+        self._cpu = cpu
+        self._base_cycle = cpu.cycles
+        self._install_hooks(cpu)
+
+    def count(self) -> int:
+        elapsed = self._cpu.cycles - self._base_cycle
+        return elapsed // self.prescaler
+
+    def reset_to(self, value: int) -> None:
+        """Make the counter read *value* at the current cycle."""
+        self._base_cycle = self._cpu.cycles - value * self.prescaler
+
+    def service(self, cpu) -> None:  # overridden where interrupts exist
+        pass
+
+    def next_event_cycle(self, cpu) -> Optional[int]:
+        return None
+
+    def _install_hooks(self, cpu) -> None:
+        raise NotImplementedError
+
+
+class Timer0(_TimerBase):
+    """8-bit timer/counter available to applications (TCNT0)."""
+
+    def __init__(self, prescaler: int = 32):
+        super().__init__(prescaler)
+
+    def _install_hooks(self, cpu) -> None:
+        cpu.mem.install_read_hook(ioports.TCNT0, lambda: self.count() & 0xFF)
+        cpu.mem.install_write_hook(ioports.TCNT0,
+                                   lambda value: self.reset_to(value))
+
+
+class Timer3(_TimerBase):
+    """16-bit timer with output-compare interrupt (the kernel's clock).
+
+    Reading ``TCNT3L`` latches the high byte into ``TCNT3H``, as on real
+    AVR hardware.  Writing ``OCR3A`` arms a compare event; when compare
+    interrupts are enabled (bit 0 of ``TCCR3B`` in this simplified model)
+    the event raises ``VECT_TIMER3_COMPA``, otherwise it just sets the
+    ``ETIFR`` flag (bit 0) for polling.
+    """
+
+    def __init__(self, prescaler: int = 8):
+        super().__init__(prescaler)
+        self.ocr3a = 0
+        self.compare_armed = False
+        self.irq_enabled = False
+        self.flag = 0
+        self._latched_high = 0
+        self._fire_cycle: Optional[int] = None
+
+    def _install_hooks(self, cpu) -> None:
+        mem = cpu.mem
+        mem.install_read_hook(ioports.TCNT3L, self._read_low)
+        mem.install_read_hook(ioports.TCNT3H, lambda: self._latched_high)
+        mem.install_write_hook(ioports.TCNT3L, self._write_low)
+        mem.install_write_hook(ioports.TCNT3H, self._write_high)
+        mem.install_read_hook(ioports.OCR3AL, lambda: self.ocr3a & 0xFF)
+        mem.install_read_hook(ioports.OCR3AH, lambda: self.ocr3a >> 8)
+        mem.install_write_hook(ioports.OCR3AL, self._write_ocr_low)
+        mem.install_write_hook(ioports.OCR3AH, self._write_ocr_high)
+        mem.install_read_hook(ioports.TCCR3B,
+                              lambda: 1 if self.irq_enabled else 0)
+        mem.install_write_hook(ioports.TCCR3B, self._write_control)
+        mem.install_read_hook(ioports.ETIFR, lambda: self.flag)
+        mem.install_write_hook(ioports.ETIFR, self._write_flag)
+
+    # -- register behaviour -------------------------------------------------
+
+    def count16(self) -> int:
+        return self.count() & 0xFFFF
+
+    def _read_low(self) -> int:
+        value = self.count16()
+        self._latched_high = value >> 8
+        return value & 0xFF
+
+    def _write_low(self, value: int) -> None:
+        self.reset_to((self._latched_high << 8) | value)
+
+    def _write_high(self, value: int) -> None:
+        self._latched_high = value
+
+    def _write_ocr_low(self, value: int) -> None:
+        self.ocr3a = (self.ocr3a & 0xFF00) | value
+        self._arm()
+
+    def _write_ocr_high(self, value: int) -> None:
+        self.ocr3a = (value << 8) | (self.ocr3a & 0xFF)
+        self._arm()
+
+    def _write_control(self, value: int) -> None:
+        self.irq_enabled = bool(value & 1)
+        self._arm()
+
+    def _write_flag(self, value: int) -> None:
+        # Writing 1 clears the flag, as on real hardware.
+        self.flag &= ~value
+
+    def _arm(self) -> None:
+        """(Re)compute and latch the cycle of the next compare match."""
+        self.compare_armed = True
+        now = self.count()
+        wrap = 0x10000
+        delta = (self.ocr3a - (now % wrap)) % wrap
+        if delta == 0:
+            delta = wrap  # match at the *next* pass, as on real hardware
+        self._fire_cycle = self._cpu.cycles + delta * self.prescaler
+        self._cpu.schedule_alarm(self._fire_cycle)
+
+    # -- device protocol -----------------------------------------------------
+
+    def service(self, cpu) -> None:
+        if not self.compare_armed or self._fire_cycle is None:
+            return
+        if cpu.cycles >= self._fire_cycle:
+            self.flag |= 1
+            if self.irq_enabled:
+                cpu.raise_interrupt(ioports.VECT_TIMER3_COMPA)
+            # The comparator keeps matching once per counter wrap, as on
+            # real hardware; re-arm for the next pass.
+            self._arm()
+        else:
+            cpu.schedule_alarm(self._fire_cycle)
+
+    def next_event_cycle(self, cpu) -> Optional[int]:
+        return self._fire_cycle if self.compare_armed else None

@@ -1,0 +1,290 @@
+"""Real AVR binary encodings for the supported instruction subset.
+
+Encodings follow the Atmel AVR instruction-set manual bit-for-bit, so the
+rewriter's size accounting (16-bit vs 32-bit instructions, shift tables,
+code inflation in Figure 4) measures genuine machine-code properties.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..errors import EncodingError
+from .instruction import Instruction
+from .isa import Format, OPCODES
+
+# -- encode helpers ----------------------------------------------------------
+
+_R2_PREFIX = {
+    "CPC": 0b000001, "SBC": 0b000010, "ADD": 0b000011, "CPSE": 0b000100,
+    "CP": 0b000101, "SUB": 0b000110, "ADC": 0b000111, "AND": 0b001000,
+    "EOR": 0b001001, "OR": 0b001010, "MOV": 0b001011,
+}
+_R2_BY_PREFIX = {v: k for k, v in _R2_PREFIX.items()}
+
+_IMM8_OP = {"CPI": 0x3, "SBCI": 0x4, "SUBI": 0x5, "ORI": 0x6,
+            "ANDI": 0x7, "LDI": 0xE}
+_IMM8_BY_OP = {v: k for k, v in _IMM8_OP.items()}
+
+_RD_OP = {"COM": 0x0, "NEG": 0x1, "SWAP": 0x2, "INC": 0x3,
+          "ASR": 0x5, "LSR": 0x6, "ROR": 0x7, "DEC": 0xA}
+_RD_BY_OP = {v: k for k, v in _RD_OP.items()}
+
+#: LD/ST pointer-mode nibbles within the 1001 00sd dddd oooo family.
+_PTR_OP = {"Z+": 0x1, "-Z": 0x2, "Y+": 0x9, "-Y": 0xA,
+           "X": 0xC, "X+": 0xD, "-X": 0xE}
+_PTR_BY_OP = {v: k for k, v in _PTR_OP.items()}
+
+_IOBIT_OP = {"CBI": 0, "SBIC": 1, "SBI": 2, "SBIS": 3}
+_IOBIT_BY_OP = {v: k for k, v in _IOBIT_OP.items()}
+
+_IMPLIED_WORD = {
+    "NOP": 0x0000, "IJMP": 0x9409, "ICALL": 0x9509, "RET": 0x9508,
+    "RETI": 0x9518, "SLEEP": 0x9588, "BREAK": 0x9598, "WDR": 0x95A8,
+}
+_IMPLIED_BY_WORD = {v: k for k, v in _IMPLIED_WORD.items()}
+
+_ADIW_REGS = (24, 26, 28, 30)
+
+
+def _check(cond: bool, message: str) -> None:
+    if not cond:
+        raise EncodingError(message)
+
+
+def _reg(value: int, lo: int = 0, hi: int = 31) -> int:
+    _check(lo <= value <= hi, f"register r{value} out of range r{lo}..r{hi}")
+    return value
+
+
+def _imm(value: int, bits: int, what: str) -> int:
+    _check(0 <= value < (1 << bits), f"{what} {value} does not fit {bits} bits")
+    return value
+
+
+def _simm(value: int, bits: int, what: str) -> int:
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    _check(lo <= value <= hi, f"{what} {value} out of range {lo}..{hi}")
+    return value & ((1 << bits) - 1)
+
+
+def _sext(value: int, bits: int) -> int:
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+def encode(instr: Instruction) -> Tuple[int, ...]:
+    """Encode *instr* into one or two 16-bit flash words."""
+    m, ops = instr.mnemonic, instr.operands
+    try:
+        fmt = OPCODES[m].fmt
+    except KeyError:
+        raise EncodingError(f"unknown mnemonic {m!r}") from None
+
+    if fmt is Format.R2:
+        d, r = _reg(ops[0]), _reg(ops[1])
+        prefix = _R2_PREFIX[m]
+        return ((prefix << 10) | ((r & 0x10) << 5) | (d << 4) | (r & 0x0F),)
+    if fmt is Format.MUL:
+        d, r = _reg(ops[0]), _reg(ops[1])
+        return (0x9C00 | ((r & 0x10) << 5) | (d << 4) | (r & 0x0F),)
+    if fmt is Format.MOVW:
+        d, r = _reg(ops[0]), _reg(ops[1])
+        _check(d % 2 == 0 and r % 2 == 0, "MOVW operands must be even registers")
+        return (0x0100 | ((d // 2) << 4) | (r // 2),)
+    if fmt is Format.RD:
+        d = _reg(ops[0])
+        return (0x9400 | (d << 4) | _RD_OP[m],)
+    if fmt is Format.IMM8:
+        d, k = _reg(ops[0], 16, 31), _imm(ops[1], 8, "immediate")
+        return ((_IMM8_OP[m] << 12) | ((k & 0xF0) << 4)
+                | ((d - 16) << 4) | (k & 0x0F),)
+    if fmt is Format.ADIW:
+        d, k = ops[0], _imm(ops[1], 6, "ADIW immediate")
+        _check(d in _ADIW_REGS, f"ADIW register r{d} must be one of {_ADIW_REGS}")
+        base = 0x9600 if m == "ADIW" else 0x9700
+        return (base | ((k & 0x30) << 2) | (((d - 24) // 2) << 4) | (k & 0x0F),)
+    if fmt is Format.LDST_DISP:
+        d, ptr, q = _reg(ops[0]), ops[1], _imm(ops[2], 6, "displacement")
+        _check(ptr in ("Y", "Z"), "LDD/STD pointer must be Y or Z")
+        s = 1 if m == "STD" else 0
+        y = 1 if ptr == "Y" else 0
+        return (0x8000 | ((q & 0x20) << 8) | ((q & 0x18) << 7) | (s << 9)
+                | (d << 4) | (y << 3) | (q & 0x07),)
+    if fmt is Format.LDST_PTR:
+        d, mode = _reg(ops[0]), ops[1]
+        _check(mode in _PTR_OP, f"bad pointer mode {mode!r}")
+        s = 1 if m == "ST" else 0
+        return (0x9000 | (s << 9) | (d << 4) | _PTR_OP[mode],)
+    if fmt is Format.LDST_DIRECT:
+        d, k = _reg(ops[0]), _imm(ops[1], 16, "data address")
+        s = 1 if m == "STS" else 0
+        return (0x9000 | (s << 9) | (d << 4), k)
+    if fmt is Format.PUSHPOP:
+        d = _reg(ops[0])
+        s = 1 if m == "PUSH" else 0
+        return (0x9000 | (s << 9) | (d << 4) | 0xF,)
+    if fmt is Format.LPM:
+        d, mode = ops
+        if mode == "LEGACY":
+            _check(d == 0, "legacy LPM targets r0")
+            return (0x95C8,)
+        _check(mode in ("Z", "Z+"), f"bad LPM mode {mode!r}")
+        return (0x9004 | (_reg(d) << 4) | (1 if mode == "Z+" else 0),)
+    if fmt is Format.IO:
+        if m == "IN":
+            d, a = _reg(ops[0]), _imm(ops[1], 6, "I/O address")
+            return (0xB000 | ((a & 0x30) << 5) | (d << 4) | (a & 0x0F),)
+        a, r = _imm(ops[0], 6, "I/O address"), _reg(ops[1])
+        return (0xB800 | ((a & 0x30) << 5) | (r << 4) | (a & 0x0F),)
+    if fmt is Format.IOBIT:
+        a, b = _imm(ops[0], 5, "I/O address"), _imm(ops[1], 3, "bit")
+        return (0x9800 | (_IOBIT_OP[m] << 8) | (a << 3) | b,)
+    if fmt is Format.REL12:
+        k = _simm(ops[0], 12, "relative offset")
+        return ((0xC000 if m == "RJMP" else 0xD000) | k,)
+    if fmt is Format.BRANCH:
+        s, k = _imm(ops[0], 3, "SREG bit"), _simm(ops[1], 7, "branch offset")
+        base = 0xF000 if m == "BRBS" else 0xF400
+        return (base | (k << 3) | s,)
+    if fmt is Format.SKIP_REG:
+        r, b = _reg(ops[0]), _imm(ops[1], 3, "bit")
+        return ((0xFC00 if m == "SBRC" else 0xFE00) | (r << 4) | b,)
+    if fmt is Format.TFLAG:
+        d, b = _reg(ops[0]), _imm(ops[1], 3, "bit")
+        return ((0xF800 if m == "BLD" else 0xFA00) | (d << 4) | b,)
+    if fmt is Format.JMPCALL:
+        k = _imm(ops[0], 22, "flash word address")
+        base = 0x940C if m == "JMP" else 0x940E
+        return (base | (((k >> 17) & 0x1F) << 4) | ((k >> 16) & 1), k & 0xFFFF)
+    if fmt is Format.SREG_OP:
+        s = _imm(ops[0], 3, "SREG bit")
+        return ((0x9408 if m == "BSET" else 0x9488) | (s << 4),)
+    if fmt is Format.IMPLIED:
+        return (_IMPLIED_WORD[m],)
+    raise EncodingError(f"unhandled format {fmt} for {m}")  # pragma: no cover
+
+
+# -- decode ------------------------------------------------------------------
+
+def decode(word: int, next_word: Optional[int] = None,
+           address: int = -1) -> Instruction:
+    """Decode one instruction starting at *word*.
+
+    *next_word* must be supplied for 32-bit instructions (LDS/STS/JMP/CALL);
+    passing ``None`` for one raises :class:`EncodingError`.
+    """
+    top4 = word >> 12
+
+    if word == 0x0000:
+        return Instruction("NOP", (), address)
+    if (word & 0xFF00) == 0x0100:
+        d, r = ((word >> 4) & 0xF) * 2, (word & 0xF) * 2
+        return Instruction("MOVW", (d, r), address)
+    prefix = word >> 10
+    if prefix in _R2_BY_PREFIX:
+        d = (word >> 4) & 0x1F
+        r = ((word >> 5) & 0x10) | (word & 0x0F)
+        return Instruction(_R2_BY_PREFIX[prefix], (d, r), address)
+    if top4 in _IMM8_BY_OP:
+        d = 16 + ((word >> 4) & 0x0F)
+        k = ((word >> 4) & 0xF0) | (word & 0x0F)
+        return Instruction(_IMM8_BY_OP[top4], (d, k), address)
+    if (word & 0xD200) in (0x8000, 0x8200):  # 10q0 qqsd dddd yqqq
+        q = ((word >> 8) & 0x20) | ((word >> 7) & 0x18) | (word & 0x07)
+        d = (word >> 4) & 0x1F
+        ptr = "Y" if word & 0x08 else "Z"
+        m = "STD" if word & 0x0200 else "LDD"
+        return Instruction(m, (d, ptr, q), address)
+    if (word & 0xFC00) == 0x9000:  # LD/ST misc, LDS/STS, LPM, PUSH/POP
+        store = bool(word & 0x0200)
+        d = (word >> 4) & 0x1F
+        op4 = word & 0x0F
+        if op4 == 0x0:
+            if next_word is None:
+                raise EncodingError("LDS/STS needs a second word")
+            return Instruction("STS" if store else "LDS",
+                               (d, next_word), address)
+        if op4 == 0xF:
+            return Instruction("PUSH" if store else "POP", (d,), address)
+        if not store and op4 in (0x4, 0x5):
+            return Instruction("LPM", (d, "Z+" if op4 == 0x5 else "Z"), address)
+        if op4 in _PTR_BY_OP:
+            return Instruction("ST" if store else "LD",
+                               (d, _PTR_BY_OP[op4]), address)
+        raise EncodingError(f"bad LD/ST mode nibble {op4:#x} in {word:#06x}")
+    if (word & 0xFE00) == 0x9400:
+        result = _decode_94(word, next_word, address)
+        if result is not None:
+            return result
+    if (word & 0xFF00) == 0x9600:
+        d = 24 + 2 * ((word >> 4) & 0x3)
+        k = ((word >> 2) & 0x30) | (word & 0x0F)
+        return Instruction("ADIW", (d, k), address)
+    if (word & 0xFF00) == 0x9700:
+        d = 24 + 2 * ((word >> 4) & 0x3)
+        k = ((word >> 2) & 0x30) | (word & 0x0F)
+        return Instruction("SBIW", (d, k), address)
+    if (word & 0xFC00) == 0x9800:
+        a, b = (word >> 3) & 0x1F, word & 0x07
+        return Instruction(_IOBIT_BY_OP[(word >> 8) & 0x3], (a, b), address)
+    if (word & 0xFC00) == 0x9C00:
+        d = (word >> 4) & 0x1F
+        r = ((word >> 5) & 0x10) | (word & 0x0F)
+        return Instruction("MUL", (d, r), address)
+    if (word & 0xF000) == 0xB000:
+        a = ((word >> 5) & 0x30) | (word & 0x0F)
+        reg = (word >> 4) & 0x1F
+        if word & 0x0800:
+            return Instruction("OUT", (a, reg), address)
+        return Instruction("IN", (reg, a), address)
+    if top4 == 0xC:
+        return Instruction("RJMP", (_sext(word, 12),), address)
+    if top4 == 0xD:
+        return Instruction("RCALL", (_sext(word, 12),), address)
+    if (word & 0xF800) == 0xF000:
+        s = word & 0x7
+        k = _sext((word >> 3) & 0x7F, 7)
+        m = "BRBS" if (word & 0xFC00) == 0xF000 else "BRBC"
+        return Instruction(m, (s, k), address)
+    if (word & 0xFC08) in (0xF800, 0xFA00, 0xFC00, 0xFE00):
+        reg, b = (word >> 4) & 0x1F, word & 0x07
+        m = {0xF800: "BLD", 0xFA00: "BST",
+             0xFC00: "SBRC", 0xFE00: "SBRS"}[word & 0xFE08]
+        return Instruction(m, (reg, b), address)
+    raise EncodingError(f"cannot decode word {word:#06x}")
+
+
+def _decode_94(word: int, next_word: Optional[int],
+               address: int) -> Optional[Instruction]:
+    """Decode the crowded ``1001 010x`` region (RD ops, jumps, misc)."""
+    if word in _IMPLIED_BY_WORD:
+        return Instruction(_IMPLIED_BY_WORD[word], (), address)
+    if word == 0x95C8:
+        return Instruction("LPM", (0, "LEGACY"), address)
+    op4 = word & 0x0F
+    if op4 in (0xC, 0xD, 0xE, 0xF):  # JMP / CALL
+        if next_word is None:
+            raise EncodingError("JMP/CALL needs a second word")
+        k = ((((word >> 4) & 0x1F) << 1) | (word & 1)) << 16 | next_word
+        return Instruction("JMP" if op4 < 0xE else "CALL", (k,), address)
+    if (word & 0xFF8F) == 0x9408:
+        return Instruction("BSET", ((word >> 4) & 0x7,), address)
+    if (word & 0xFF8F) == 0x9488:
+        return Instruction("BCLR", ((word >> 4) & 0x7,), address)
+    if op4 in _RD_BY_OP:
+        return Instruction(_RD_BY_OP[op4], ((word >> 4) & 0x1F,), address)
+    return None
+
+
+def instruction_words(word: int) -> int:
+    """Return 2 if *word* starts a 32-bit instruction, else 1.
+
+    Used by the assembler's first pass and by linear decoders to walk a
+    flash image without fully decoding it.
+    """
+    if (word & 0xFC0F) in (0x9000, 0x9200):  # LDS / STS
+        return 2
+    if (word & 0xFE0C) == 0x940C:  # JMP / CALL
+        return 2
+    return 1

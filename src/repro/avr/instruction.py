@@ -1,0 +1,121 @@
+"""Decoded-instruction model.
+
+An :class:`Instruction` is the canonical, format-normalized form shared by
+the assembler, the encoder/decoder, the disassembler, the CPU and the
+binary rewriter.  Operand tuples per format:
+
+=============  =======================================================
+Format         Operands
+=============  =======================================================
+R2, MUL        ``(Rd, Rr)``
+MOVW           ``(Rd, Rr)`` — both even
+RD, PUSHPOP    ``(Rd,)``
+IMM8           ``(Rd, K)`` — Rd in 16..31
+LDST_DISP      ``(Rd, ptr, q)`` — ptr ``"Y"`` or ``"Z"``, q in 0..63
+LDST_PTR       ``(Rd, mode)`` — mode one of ``X X+ -X Y+ -Y Z+ -Z``
+LDST_DIRECT    ``(Rd, k)`` — k a 16-bit data address
+LPM            ``(Rd, mode)`` — mode ``"LEGACY"`` (Rd==0), ``"Z"``, ``"Z+"``
+IO             IN: ``(Rd, A)``;  OUT: ``(A, Rr)``
+IOBIT          ``(A, b)``
+REL12          ``(k,)`` — signed word offset
+BRANCH         ``(s, k)`` — SREG bit, signed word offset
+SKIP_REG       ``(Rr, b)``
+TFLAG          ``(Rd, b)``
+ADIW           ``(Rd, K)`` — Rd in {24, 26, 28, 30}
+JMPCALL        ``(k,)`` — absolute word address
+SREG_OP        ``(s,)``
+IMPLIED        ``()``
+=============  =======================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from .isa import Format, Kind, OpSpec, OPCODES
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded AVR instruction, pinned to a flash word address."""
+
+    mnemonic: str
+    operands: Tuple = ()
+    address: int = -1  # flash word address; -1 when not yet placed
+
+    @property
+    def opspec(self) -> OpSpec:
+        return OPCODES[self.mnemonic]
+
+    @property
+    def words(self) -> int:
+        """Size in 16-bit flash words (1 or 2)."""
+        return self.opspec.words
+
+    @property
+    def size_bytes(self) -> int:
+        return self.words * 2
+
+    @property
+    def kind(self) -> Kind:
+        return self.opspec.kind
+
+    @property
+    def next_address(self) -> int:
+        """Word address of the instruction that follows in memory."""
+        return self.address + self.words
+
+    # -- control-flow helpers used by the rewriter --------------------------
+
+    def branch_target(self) -> int:
+        """Static branch target (word address) for direct branches.
+
+        Raises :class:`ValueError` for instructions whose target is not
+        statically known (indirect branches, returns, skips).
+        """
+        fmt = self.opspec.fmt
+        if fmt is Format.REL12:
+            return self.next_address + self.operands[0]
+        if fmt is Format.BRANCH:
+            return self.next_address + self.operands[1]
+        if fmt is Format.JMPCALL:
+            return self.operands[0]
+        raise ValueError(f"{self.mnemonic} has no static branch target")
+
+    def is_backward_branch(self) -> bool:
+        """True for a direct branch whose target is at or before itself.
+
+        SenSmart's scheduler piggybacks on backward branches (every loop
+        must contain one), so the rewriter patches exactly these sites.
+        """
+        fmt = self.opspec.fmt
+        if fmt in (Format.REL12, Format.BRANCH, Format.JMPCALL):
+            if self.mnemonic in ("RCALL", "CALL"):
+                return False  # calls are patched as calls, not as loops
+            return self.branch_target() <= self.address
+        return False
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        ops = ", ".join(str(o) for o in self.operands)
+        loc = f"{self.address:#06x}: " if self.address >= 0 else ""
+        return f"{loc}{self.mnemonic} {ops}".rstrip()
+
+
+def at(instruction: Instruction, address: int) -> Instruction:
+    """Return a copy of *instruction* pinned to *address*."""
+    return Instruction(instruction.mnemonic, instruction.operands, address)
+
+
+@dataclass(frozen=True)
+class DataWord:
+    """A raw 16-bit flash word that is data, not code (e.g. ``.dw``)."""
+
+    value: int
+    address: int = -1
+
+    words: int = field(default=1, init=False)
+
+    @property
+    def size_bytes(self) -> int:
+        return 2

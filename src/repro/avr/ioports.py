@@ -1,0 +1,84 @@
+"""Data-space addresses of the simulated mote's I/O registers.
+
+The map follows the ATmega128L conventions used on MICA2/MICAz motes:
+I/O-space address ``A`` (used by ``IN``/``OUT``, 0..63) corresponds to
+data-space address ``A + 0x20``.  Constants below are *data-space*
+addresses; ``io_to_data``/``data_to_io`` convert.
+
+Timer3 is the register block SenSmart reserves as the kernel's global
+clock (paper Section IV-A): application accesses to it are intercepted by
+the rewriter and redirected to the kernel's virtual timer service.
+"""
+
+from __future__ import annotations
+
+IO_BASE = 0x20  # data-space address of I/O-space address 0
+
+# Core registers -------------------------------------------------------------
+SPL = 0x5D
+SPH = 0x5E
+SREG = 0x5F
+
+# Timer0: 8-bit timer, available to applications ------------------------------
+TCNT0 = 0x52
+TCCR0 = 0x53
+
+# Timer3: 16-bit timer, reserved by the SenSmart kernel ------------------------
+OCR3AL = 0x86
+OCR3AH = 0x87
+TCNT3L = 0x88
+TCNT3H = 0x89
+TCCR3B = 0x8A
+ETIFR = 0x7C
+
+#: All data-space addresses belonging to the Timer3 block (the rewriter
+#: patches any instruction that statically addresses one of these).
+TIMER3_ADDRESSES = frozenset(
+    {OCR3AL, OCR3AH, TCNT3L, TCNT3H, TCCR3B, ETIFR})
+
+# ADC --------------------------------------------------------------------------
+ADCL = 0x24
+ADCH = 0x25
+ADCSRA = 0x26
+ADMUX = 0x27
+
+#: ADCSRA bits.
+ADEN = 7   # ADC enable
+ADSC = 6   # start conversion; reads 1 while a conversion is in progress
+ADIF = 4   # conversion complete flag
+
+# UART0 — the byte pipe the mote's radio stack feeds (CC1000 via SPI on a
+# real MICA2; a byte-oriented TX register is the behaviourally relevant part).
+UDR0 = 0x2C
+UCSR0A = 0x2B
+
+#: UCSR0A bits.
+UDRE = 5   # data register empty (ready to accept a byte)
+TXC = 6    # transmit complete
+
+# LEDs (PORTA on MICA2) ---------------------------------------------------------
+PORTA = 0x3B
+DDRA = 0x3A
+
+# Memory geometry -----------------------------------------------------------------
+RAM_START = 0x100    # first SRAM byte after registers + I/O
+RAM_END = 0x10FF     # last SRAM byte (4 KB internal SRAM)
+DATA_SIZE = RAM_END + 1
+FLASH_WORDS = 0x10000  # 128 KB program memory
+
+# Interrupt vectors (word addresses) — a compact layout for the simulator.
+VECT_RESET = 0x0000
+VECT_TIMER0_OVF = 0x0004
+VECT_TIMER3_COMPA = 0x0008
+VECT_ADC = 0x000C
+VECT_USART_TX = 0x0010
+
+
+def io_to_data(io_address: int) -> int:
+    """Convert an ``IN``/``OUT`` I/O-space address to a data-space address."""
+    return io_address + IO_BASE
+
+
+def data_to_io(data_address: int) -> int:
+    """Convert a data-space address to an I/O-space address."""
+    return data_address - IO_BASE

@@ -1,0 +1,5 @@
+"""Comparator systems: native execution, t-kernel, fixed-stack OS, Maté."""
+
+from .native import NativeResult, run_native
+
+__all__ = ["NativeResult", "run_native"]

@@ -1,0 +1,7 @@
+"""Maté-like bytecode virtual machine (paper Section V-C, Figure 6c)."""
+
+from .bytecode import Op, Program, assemble_bytecode
+from .vm import MateVm, periodic_task_bytecode
+
+__all__ = ["Op", "Program", "assemble_bytecode",
+           "MateVm", "periodic_task_bytecode"]

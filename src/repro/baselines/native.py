@@ -1,0 +1,58 @@
+"""Native execution: the program runs alone, no OS, no rewriting.
+
+This is the "Native" series of Figures 5 and 6 — the lower bound every
+system's overhead is measured against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..avr.cpu import AvrCpu
+from ..avr.devices import Adc, Leds, Radio, Timer0, Timer3
+from ..avr.memory import Flash
+from ..toolchain.compile import compile_source
+
+
+@dataclass
+class NativeResult:
+    """Outcome of a native run."""
+
+    cycles: int
+    instructions: int
+    finished: bool
+    cpu: AvrCpu
+    devices: Dict[str, object]
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / self.cpu.clock_hz
+
+    def heap_byte(self, offset: int) -> int:
+        """Read a byte from the program's heap (SRAM base + offset)."""
+        return self.cpu.mem.data[0x100 + offset]
+
+
+def run_native(source: str, max_instructions: int = 50_000_000,
+               max_cycles: Optional[int] = None,
+               adc_seed: int = 0xACE1,
+               clock_hz: int = 7_372_800) -> NativeResult:
+    """Assemble *source* and run it bare-metal until BREAK."""
+    program = compile_source(source, origin=0)
+    flash = Flash()
+    flash.load(0, program.words)
+    cpu = AvrCpu(flash, clock_hz=clock_hz)
+    devices = {
+        "timer0": Timer0(),
+        "timer3": Timer3(),
+        "adc": Adc(seed=adc_seed),
+        "radio": Radio(),
+        "leds": Leds(),
+    }
+    for device in devices.values():
+        cpu.attach_device(device)
+    cpu.pc = program.entry
+    cpu.run(max_instructions=max_instructions, max_cycles=max_cycles)
+    return NativeResult(cycles=cpu.cycles, instructions=cpu.instret,
+                        finished=cpu.halted, cpu=cpu, devices=devices)

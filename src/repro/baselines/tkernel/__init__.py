@@ -1,0 +1,7 @@
+"""The t-kernel comparator (Gu & Stankovic, SenSys 2006)."""
+
+from .model import (TkernelResult, TkernelRunner, tk_classify,
+                    tkernel_inflation_bytes)
+
+__all__ = ["TkernelResult", "TkernelRunner", "tk_classify",
+           "tkernel_inflation_bytes"]

@@ -1,0 +1,41 @@
+"""A miniature C compiler targeting the mote.
+
+The paper's applications are written in nesC and compiled before the
+rewriter ever sees them; this package provides the equivalent front end
+for the reproduction, so workloads can be written in a small, typed
+C-like language ("TinyC") instead of raw assembly:
+
+.. code-block:: c
+
+    u16 total;
+    u8 buf[16];
+
+    u16 sum(u8 n) {
+        u16 acc = 0;
+        u8 i = 0;
+        while (i < n) { acc = acc + buf[i]; i = i + 1; }
+        return acc;
+    }
+
+    void main() {
+        u8 i;
+        for (i = 0; i < 16; i = i + 1) { buf[i] = i; }
+        total = sum(16);
+        halt();
+    }
+
+Supported: ``u8``/``u16`` scalars and 1-D arrays (globals), stack-frame
+locals, functions with up to four parameters and recursion, the usual
+arithmetic/bitwise/comparison operators, ``if``/``else``, ``while``,
+``for``, and the mote intrinsics ``halt()``, ``sleep()``,
+``io_read(a)``, ``io_write(a, v)`` and ``settimer(ticks)``.  Pointers are
+intentionally out of scope.
+
+Frame-based locals are deliberate: they exercise SenSmart's
+stack-frame access class and SP get/set virtualization exactly the way
+avr-gcc output does.
+"""
+
+from .compiler import compile_c, compile_c_to_asm
+
+__all__ = ["compile_c", "compile_c_to_asm"]

@@ -1,0 +1,175 @@
+"""TinyC abstract syntax tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+# -- expressions ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Number:
+    value: int
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Index:
+    """Array element: ``name[index]``."""
+
+    name: str
+    index: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str  # "-", "~", "!"
+    operand: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str
+    left: "Expr"
+    right: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Call:
+    name: str
+    args: List["Expr"]
+    line: int = 0
+
+
+Expr = Union[Number, Var, Index, Unary, Binary, Call]
+
+# -- statements ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Declare:
+    type_name: str  # "u8" | "u16"
+    name: str
+    init: Optional[Expr]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Assign:
+    target: Union[Var, Index]
+    value: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class If:
+    condition: Expr
+    then_body: List["Stmt"]
+    else_body: List["Stmt"]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class While:
+    condition: Expr
+    body: List["Stmt"]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class For:
+    init: Optional["Stmt"]
+    condition: Optional[Expr]
+    step: Optional["Stmt"]
+    body: List["Stmt"]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class DoWhile:
+    body: List["Stmt"]
+    condition: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Break:
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Continue:
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Return:
+    value: Optional[Expr]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ExprStmt:
+    expr: Expr
+    line: int = 0
+
+
+Stmt = Union[Declare, Assign, If, While, For, DoWhile, Break, Continue,
+             Return, ExprStmt]
+
+# -- top level -----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GlobalVar:
+    type_name: str  # "u8" | "u16"
+    name: str
+    array_length: Optional[int]  # None for scalars
+    init: Optional[int] = None   # constant initializer (scalars only)
+    line: int = 0
+
+    @property
+    def element_bytes(self) -> int:
+        return 1 if self.type_name == "u8" else 2
+
+    @property
+    def size_bytes(self) -> int:
+        count = self.array_length if self.array_length is not None else 1
+        return count * self.element_bytes
+
+
+@dataclass(frozen=True)
+class Param:
+    type_name: str
+    name: str
+
+
+@dataclass(frozen=True)
+class Function:
+    return_type: str  # "u8" | "u16" | "void"
+    name: str
+    params: List[Param]
+    body: List[Stmt]
+    line: int = 0
+
+
+@dataclass
+class Program:
+    globals: List[GlobalVar] = field(default_factory=list)
+    functions: List[Function] = field(default_factory=list)
+
+    def function(self, name: str) -> Function:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)

@@ -1,0 +1,30 @@
+"""TinyC compiler driver."""
+
+from __future__ import annotations
+
+from ..toolchain.compile import compile_source
+from ..toolchain.program import Program as BinaryProgram
+from .codegen import CodeGenerator
+from .optimizer import optimize_lines
+from .parser import parse
+
+
+def compile_c_to_asm(source: str, optimize: bool = True) -> str:
+    """Compile TinyC *source* to AVR assembly text.
+
+    *optimize* runs the peephole pass (see :mod:`.optimizer`); disable
+    it to inspect the generator's raw output or for A/B measurements.
+    """
+    ast = parse(source)
+    text = CodeGenerator(ast).generate()
+    if optimize:
+        lines = optimize_lines(text.splitlines())
+        text = "\n".join(lines) + "\n"
+    return text
+
+
+def compile_c(source: str, name: str = "app", origin: int = 0,
+              optimize: bool = True) -> BinaryProgram:
+    """Compile TinyC *source* all the way to a binary Program."""
+    return compile_source(compile_c_to_asm(source, optimize=optimize),
+                          name=name, origin=origin)

@@ -1,0 +1,327 @@
+"""TinyC recursive-descent parser."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .astnodes import (Assign, Binary, Break, Call, Continue, Declare,
+                       DoWhile, Expr, ExprStmt, For, Function, GlobalVar,
+                       If, Index, Number, Param, Program, Return, Stmt,
+                       Unary, Var, While)
+from .lexer import CompileError, Token, tokenize
+
+#: Compound assignment operators and their underlying binary operator.
+_COMPOUND_OPS = {"+=": "+", "-=": "-", "*=": "*", "&=": "&", "|=": "|",
+                 "^=": "^", "<<=": "<<", ">>=": ">>"}
+
+#: Binary operator precedence, loosest first.
+_PRECEDENCE = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text if text is not None else kind
+            raise CompileError(
+                f"expected {want!r}, found {token.text or 'EOF'!r}",
+                token.line)
+        return self.advance()
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    # -- grammar -----------------------------------------------------------------
+
+    def parse(self) -> Program:
+        program = Program()
+        while self.peek().kind != "eof":
+            type_token = self.expect("kw")
+            if type_token.text not in ("u8", "u16", "void"):
+                raise CompileError(
+                    f"expected a type, found {type_token.text!r}",
+                    type_token.line)
+            name = self.expect("name")
+            if self.peek().text == "(":
+                program.functions.append(
+                    self._function(type_token.text, name))
+            else:
+                program.globals.append(
+                    self._global(type_token.text, name))
+        return program
+
+    def _global(self, type_name: str, name: Token) -> GlobalVar:
+        if type_name == "void":
+            raise CompileError("variables cannot be void", name.line)
+        length = None
+        init = None
+        if self.accept("punct", "["):
+            length = self.expect("num").value
+            self.expect("punct", "]")
+            if length <= 0:
+                raise CompileError("array length must be positive",
+                                   name.line)
+        elif self.accept("punct", "="):
+            negate = self.accept("punct", "-") is not None
+            init = self.expect("num").value
+            if negate:
+                init = (-init) & 0xFFFF
+        self.expect("punct", ";")
+        return GlobalVar(type_name=type_name, name=name.text,
+                         array_length=length, init=init, line=name.line)
+
+    def _function(self, return_type: str, name: Token) -> Function:
+        self.expect("punct", "(")
+        params: List[Param] = []
+        if not self.accept("punct", ")"):
+            while True:
+                ptype = self.expect("kw")
+                if ptype.text not in ("u8", "u16"):
+                    raise CompileError(
+                        f"bad parameter type {ptype.text!r}", ptype.line)
+                pname = self.expect("name")
+                params.append(Param(ptype.text, pname.text))
+                if self.accept("punct", ")"):
+                    break
+                self.expect("punct", ",")
+        if len(params) > 4:
+            raise CompileError("at most 4 parameters supported",
+                               name.line)
+        body = self._block()
+        return Function(return_type=return_type, name=name.text,
+                        params=params, body=body, line=name.line)
+
+    def _block(self) -> List[Stmt]:
+        self.expect("punct", "{")
+        statements: List[Stmt] = []
+        while not self.accept("punct", "}"):
+            statements.append(self._statement())
+        return statements
+
+    def _statement(self) -> Stmt:
+        token = self.peek()
+        if token.kind == "kw" and token.text in ("u8", "u16"):
+            return self._declaration()
+        if token.kind == "kw" and token.text == "if":
+            return self._if()
+        if token.kind == "kw" and token.text == "while":
+            return self._while()
+        if token.kind == "kw" and token.text == "for":
+            return self._for()
+        if token.kind == "kw" and token.text == "do":
+            return self._do_while()
+        if token.kind == "kw" and token.text == "break":
+            self.advance()
+            self.expect("punct", ";")
+            return Break(line=token.line)
+        if token.kind == "kw" and token.text == "continue":
+            self.advance()
+            self.expect("punct", ";")
+            return Continue(line=token.line)
+        if token.kind == "kw" and token.text == "return":
+            self.advance()
+            value = None
+            if self.peek().text != ";":
+                value = self._expression()
+            self.expect("punct", ";")
+            return Return(value=value, line=token.line)
+        statement = self._simple_statement()
+        self.expect("punct", ";")
+        return statement
+
+    def _declaration(self) -> Declare:
+        type_token = self.advance()
+        name = self.expect("name")
+        init = None
+        if self.accept("punct", "="):
+            init = self._expression()
+        self.expect("punct", ";")
+        return Declare(type_name=type_token.text, name=name.text,
+                       init=init, line=name.line)
+
+    def _simple_statement(self) -> Stmt:
+        """Assignment or expression statement (no trailing ';')."""
+        start = self.pos
+        token = self.peek()
+        if token.kind == "name":
+            name = self.advance()
+            target = None
+            if self.accept("punct", "["):
+                index = self._expression()
+                self.expect("punct", "]")
+                target = Index(name.text, index, name.line)
+            else:
+                target = Var(name.text, name.line)
+            statement = self._assignment_tail(target, name.line)
+            if statement is not None:
+                return statement
+            self.pos = start  # it was an expression after all
+        expr = self._expression()
+        return ExprStmt(expr=expr, line=token.line)
+
+    def _assignment_tail(self, target, line: int) -> Optional[Stmt]:
+        """Parse ``= expr``, ``op= expr``, ``++`` or ``--`` after a
+        target; None when the tokens form a plain expression."""
+        if self.accept("punct", "="):
+            return Assign(target=target, value=self._expression(),
+                          line=line)
+        for text, op in _COMPOUND_OPS.items():
+            if self.accept("punct", text):
+                return Assign(
+                    target=target,
+                    value=Binary(op=op, left=self._target_expr(target),
+                                 right=self._expression(), line=line),
+                    line=line)
+        if self.accept("punct", "++"):
+            return Assign(
+                target=target,
+                value=Binary(op="+", left=self._target_expr(target),
+                             right=Number(1, line), line=line),
+                line=line)
+        if self.accept("punct", "--"):
+            return Assign(
+                target=target,
+                value=Binary(op="-", left=self._target_expr(target),
+                             right=Number(1, line), line=line),
+                line=line)
+        return None
+
+    @staticmethod
+    def _target_expr(target) -> Expr:
+        """The target re-read as an expression (for desugaring)."""
+        return target
+
+    def _do_while(self) -> DoWhile:
+        token = self.advance()
+        body = self._block()
+        self.expect("kw", "while")
+        self.expect("punct", "(")
+        condition = self._expression()
+        self.expect("punct", ")")
+        self.expect("punct", ";")
+        return DoWhile(body=body, condition=condition, line=token.line)
+
+    def _if(self) -> If:
+        token = self.advance()
+        self.expect("punct", "(")
+        condition = self._expression()
+        self.expect("punct", ")")
+        then_body = self._block()
+        else_body: List[Stmt] = []
+        if self.accept("kw", "else"):
+            if self.peek().text == "if":
+                else_body = [self._if()]
+            else:
+                else_body = self._block()
+        return If(condition=condition, then_body=then_body,
+                  else_body=else_body, line=token.line)
+
+    def _while(self) -> While:
+        token = self.advance()
+        self.expect("punct", "(")
+        condition = self._expression()
+        self.expect("punct", ")")
+        body = self._block()
+        return While(condition=condition, body=body, line=token.line)
+
+    def _for(self) -> For:
+        token = self.advance()
+        self.expect("punct", "(")
+        init = None
+        if self.peek().text != ";":
+            init = self._simple_statement()
+        self.expect("punct", ";")
+        condition = None
+        if self.peek().text != ";":
+            condition = self._expression()
+        self.expect("punct", ";")
+        step = None
+        if self.peek().text != ")":
+            step = self._simple_statement()
+        self.expect("punct", ")")
+        body = self._block()
+        return For(init=init, condition=condition, step=step, body=body,
+                   line=token.line)
+
+    # -- expressions ---------------------------------------------------------------
+
+    def _expression(self, level: int = 0) -> Expr:
+        if level >= len(_PRECEDENCE):
+            return self._unary()
+        left = self._expression(level + 1)
+        while True:
+            token = self.peek()
+            if token.kind == "punct" and token.text in _PRECEDENCE[level]:
+                self.advance()
+                right = self._expression(level + 1)
+                left = Binary(op=token.text, left=left, right=right,
+                              line=token.line)
+            else:
+                return left
+
+    def _unary(self) -> Expr:
+        token = self.peek()
+        if token.kind == "punct" and token.text in ("-", "~", "!"):
+            self.advance()
+            return Unary(op=token.text, operand=self._unary(),
+                         line=token.line)
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        token = self.advance()
+        if token.kind == "num":
+            return Number(value=token.value, line=token.line)
+        if token.kind == "name":
+            if self.accept("punct", "("):
+                args: List[Expr] = []
+                if not self.accept("punct", ")"):
+                    while True:
+                        args.append(self._expression())
+                        if self.accept("punct", ")"):
+                            break
+                        self.expect("punct", ",")
+                return Call(name=token.text, args=args, line=token.line)
+            if self.accept("punct", "["):
+                index = self._expression()
+                self.expect("punct", "]")
+                return Index(name=token.text, index=index,
+                             line=token.line)
+            return Var(name=token.text, line=token.line)
+        if token.kind == "punct" and token.text == "(":
+            expr = self._expression()
+            self.expect("punct", ")")
+            return expr
+        raise CompileError(f"unexpected {token.text or 'EOF'!r}",
+                           token.line)
+
+
+def parse(source: str) -> Program:
+    return Parser(source).parse()

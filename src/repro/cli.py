@@ -1,0 +1,217 @@
+"""``sensmart`` command line.
+
+Subcommands::
+
+    sensmart exp [table1|table2|fig4|fig5|fig6|fig7|fig8|all] [--quick]
+    sensmart run FILE [FILE ...]       # run programs under SenSmart
+    sensmart rewrite FILE              # show a naturalized listing
+    sensmart asm FILE                  # assemble + disassemble a file
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .analysis.profile import flat_profile, trap_histogram
+from .avr.disassembler import disassemble
+from .baselines.native import run_native
+from .cc import compile_c_to_asm
+from .experiments.runner import experiment_functions, run_all
+from .kernel import SensorNode
+from .toolchain import compile_source, link_image
+
+
+def _read_program(path: Path) -> str:
+    """Read a program file; ``.c``/``.tc`` sources are compiled first."""
+    text = path.read_text()
+    if path.suffix in (".c", ".tc"):
+        return compile_c_to_asm(text)
+    return text
+
+
+def _cmd_exp(args: argparse.Namespace) -> int:
+    names = None if args.which in ("all", None) else [args.which]
+    suite = run_all(quick=args.quick, only=names)
+    print(suite.render())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    sources = []
+    for path_text in args.files:
+        path = Path(path_text)
+        sources.append((path.stem, _read_program(path)))
+    node = SensorNode.from_sources(sources)
+    node.run(max_instructions=args.max_instructions)
+    kernel = node.kernel
+    print(f"finished: {node.finished}  cycles: {node.cpu.cycles}  "
+          f"instructions: {node.cpu.instret}")
+    for task in kernel.tasks.values():
+        print(f"  task {task.task_id} {task.name!r}: "
+              f"{task.state.value} ({task.exit_reason or 'running'}), "
+              f"cycles used {task.cycles_used}")
+    stats = kernel.stats
+    print(f"  switches: {stats.context_switches}  relocations: "
+          f"{stats.relocations}  idle: {stats.idle_cycles}")
+    if node.radio.transmitted:
+        print(f"  radio transmitted {len(node.radio.transmitted)} bytes")
+    return 0 if node.finished else 1
+
+
+def _cmd_rewrite(args: argparse.Namespace) -> int:
+    path = Path(args.file)
+    image = link_image([(path.stem, _read_program(path))])
+    if args.hex:
+        from .toolchain.ihex import image_to_ihex
+        Path(args.hex).write_text(image_to_ihex(image))
+        print(f"; wrote Intel HEX image to {args.hex}")
+    natural = image.tasks[0].natural
+    stats = natural.stats
+    print(f"; naturalized {path.stem}: base {natural.base:#06x}, "
+          f"entry {natural.entry:#06x}")
+    print(f"; native {stats.native_bytes} B -> rewritten "
+          f"{stats.rewritten_bytes} B + shift {stats.shift_table_bytes} B "
+          f"+ trampolines {stats.trampoline_bytes} B "
+          f"(x{stats.inflation_ratio:.2f})")
+    for line in disassemble(natural.words, natural.base):
+        marker = "  <- patched" if any(
+            line.startswith(f"{address:#06x}")
+            for address in natural.sites) else ""
+        print(line + marker)
+    print(f"; {image.pool.count} trampolines "
+          f"({image.pool.requests} requests before merging)")
+    return 0
+
+
+def _cmd_asm(args: argparse.Namespace) -> int:
+    path = Path(args.file)
+    program = compile_source(_read_program(path), name=path.stem)
+    print(f"; {path.stem}: {program.size_bytes} bytes, "
+          f"heap {program.symbols.heap_size} bytes, "
+          f"entry {program.entry:#06x}")
+    for line in disassemble(program.words, program.origin):
+        print(line)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    path = Path(args.file)
+    source = _read_program(path)
+    program = compile_source(source, name=path.stem)
+
+    # Native flat profile.
+    from .avr.cpu import AvrCpu
+    from .avr.devices import Adc, Leds, Radio, Timer0, Timer3
+    from .avr.memory import Flash
+    flash = Flash()
+    flash.load(0, program.words)
+    cpu = AvrCpu(flash)
+    for device in (Timer0(), Timer3(), Adc(), Radio(), Leds()):
+        cpu.attach_device(device)
+    cpu.enable_profiling()
+    cpu.pc = program.entry
+    cpu.run(max_instructions=args.max_instructions)
+    profile = flat_profile(cpu.profile, program.symbols.labels)
+    print(profile.render(top=args.top))
+
+    # SenSmart trap histogram for the same program.
+    node = SensorNode.from_sources([(path.stem, source)])
+    node.run(max_instructions=args.max_instructions)
+    print()
+    print(trap_histogram(node.kernel))
+    overhead = node.cpu.cycles / cpu.cycles if cpu.cycles else 0
+    print(f"\nnative {cpu.cycles} cycles; SenSmart {node.cpu.cycles} "
+          f"cycles (x{overhead:.2f})")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .avr.cpu import AvrCpu
+    from .avr.devices import Adc, Leds, Radio, Timer0, Timer3
+    from .avr.encoding import decode
+    from .avr.memory import Flash
+    from .avr.disassembler import format_instruction
+    path = Path(args.file)
+    program = compile_source(_read_program(path), name=path.stem)
+    flash = Flash()
+    flash.load(0, program.words)
+    cpu = AvrCpu(flash)
+    for device in (Timer0(), Timer3(), Adc(), Radio(), Leds()):
+        cpu.attach_device(device)
+    cpu.pc = program.entry
+    addr_to_label = {a: n for n, a in program.symbols.labels.items()}
+    for _step in range(args.limit):
+        if cpu.halted:
+            break
+        pc = cpu.pc
+        label = addr_to_label.get(pc)
+        if label:
+            print(f"{label}:")
+        word = flash.word(pc)
+        second = flash.word(pc + 1) if pc + 1 < flash.size_words else None
+        instruction = decode(word, second, pc)
+        before = cpu.cycles
+        cpu.step()
+        print(f"  {pc:#06x}: {format_instruction(instruction):28s} "
+              f"; +{cpu.cycles - before} cyc, sreg={cpu.sreg:#04x}, "
+              f"sp={cpu.sp:#06x}")
+    print(f"({cpu.instret} instructions, {cpu.cycles} cycles"
+          f"{', halted' if cpu.halted else ''})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sensmart",
+        description="SenSmart reproduction: simulate, rewrite, evaluate.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("exp", help="regenerate paper tables/figures")
+    exp.add_argument("which", nargs="?", default="all",
+                     choices=sorted(experiment_functions()) + ["all"])
+    exp.add_argument("--quick", action="store_true",
+                     help="smoke-test sized sweeps")
+    exp.set_defaults(func=_cmd_exp)
+
+    run = sub.add_parser("run", help="run programs under SenSmart")
+    run.add_argument("files", nargs="+")
+    run.add_argument("--max-instructions", type=int,
+                     default=100_000_000)
+    run.set_defaults(func=_cmd_run)
+
+    rewrite = sub.add_parser("rewrite",
+                             help="show the naturalized binary")
+    rewrite.add_argument("file")
+    rewrite.add_argument("--hex", metavar="OUT",
+                         help="also write the image as Intel HEX")
+    rewrite.set_defaults(func=_cmd_rewrite)
+
+    asm = sub.add_parser("asm", help="assemble and list a program")
+    asm.add_argument("file")
+    asm.set_defaults(func=_cmd_asm)
+
+    profile = sub.add_parser(
+        "profile", help="flat profile (native) + trap histogram")
+    profile.add_argument("file")
+    profile.add_argument("--top", type=int, default=10)
+    profile.add_argument("--max-instructions", type=int,
+                         default=20_000_000)
+    profile.set_defaults(func=_cmd_profile)
+
+    trace = sub.add_parser(
+        "trace", help="print the first N executed instructions")
+    trace.add_argument("file")
+    trace.add_argument("--limit", type=int, default=64)
+    trace.set_defaults(func=_cmd_trace)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+Each module exposes ``run(...)`` returning a result object with
+``.rows`` (machine-readable) and ``.render()`` (the text table matching
+the paper's rows/series), plus module-level defaults scaled to finish
+on a laptop; EXPERIMENTS.md records the scale factors.
+"""
+
+from . import (extra_compiled, extra_copyswitch, extra_energy,
+               extra_latency, fig4, fig5, fig6, fig7, fig8, table1,
+               table2)
+
+__all__ = ["table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8",
+           "extra_compiled", "extra_copyswitch", "extra_energy",
+           "extra_latency"]

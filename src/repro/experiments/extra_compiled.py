@@ -1,0 +1,101 @@
+"""Extra experiment: naturalizing *compiled* code.
+
+The paper's programs come out of nesC/avr-gcc; ours are hand-written
+assembly, which understates trampoline merging (Figure 4 note in
+EXPERIMENTS.md).  This experiment naturalizes TinyC-compiled versions
+of the workloads and reports the merge rate and inflation decomposition
+— compiled code's regular shapes merge far better, supporting the
+paper's "many trampolines are similar" design argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..analysis.report import format_table
+from ..toolchain.linker import link_image
+from ..workloads.csources import (crc_c_source, lfsr_c_source,
+                                  search_c_source)
+from ..workloads.kernelbench import crc_source, lfsr_source
+
+
+@dataclass
+class CompiledRow:
+    name: str
+    native_bytes: int
+    total_bytes: int
+    ratio: float
+    requests: int
+    slots: int
+
+    @property
+    def merge_rate(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return 1.0 - self.slots / self.requests
+
+
+@dataclass
+class CompiledResult:
+    rows_data: List[CompiledRow] = field(default_factory=list)
+    suite_requests: int = 0
+    suite_slots: int = 0
+
+    @property
+    def rows(self) -> List[List]:
+        return [[r.name, r.native_bytes, r.total_bytes,
+                 round(r.ratio, 2), r.requests, r.slots,
+                 f"{100 * r.merge_rate:.0f}%"]
+                for r in self.rows_data]
+
+    def render(self) -> str:
+        suite = (f"\nlinked as one image, the compiled suite shares "
+                 f"{self.suite_requests} trampoline requests across "
+                 f"{self.suite_slots} slots "
+                 f"({100 * (1 - self.suite_slots / self.suite_requests):.0f}%"
+                 f" merged).") if self.suite_requests else ""
+        return format_table(
+            ["program", "native B", "naturalized B", "x", "requests",
+             "slots", "merged"],
+            self.rows,
+            title="Extra: naturalizing compiled (TinyC) vs hand-written "
+                  "code") + suite
+
+    def by_name(self, name: str) -> CompiledRow:
+        for row in self.rows_data:
+            if row.name == name:
+                return row
+        raise KeyError(name)
+
+
+def _measure(name: str, source: str) -> CompiledRow:
+    image = link_image([(name, source)])
+    stats = image.tasks[0].natural.stats
+    return CompiledRow(name=name, native_bytes=stats.native_bytes,
+                       total_bytes=stats.total_bytes,
+                       ratio=stats.inflation_ratio,
+                       requests=image.pool.requests,
+                       slots=image.pool.count)
+
+
+def run() -> CompiledResult:
+    result = CompiledResult()
+    programs = [
+        ("crc (asm)", crc_source()),
+        ("crc (compiled)", crc_c_source()),
+        ("lfsr (asm)", lfsr_source()),
+        ("lfsr (compiled)", lfsr_c_source()),
+        ("treesearch (compiled)", search_c_source(nodes=30, searches=10)),
+    ]
+    for name, source in programs:
+        result.rows_data.append(_measure(name, source))
+    # The whole compiled suite in one image: cross-program merging.
+    suite = link_image([
+        ("crc", crc_c_source()),
+        ("lfsr", lfsr_c_source()),
+        ("search", search_c_source(nodes=30, searches=10)),
+    ])
+    result.suite_requests = suite.pool.requests
+    result.suite_slots = suite.pool.count
+    return result

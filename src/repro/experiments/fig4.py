@@ -1,0 +1,51 @@
+"""Figure 4: code inflation of the kernel benchmark programs.
+
+Series: native size; SenSmart rewritten body + shift table + trampoline
+(stacked); t-kernel naturalized size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..analysis.inflation import InflationBreakdown, inflation_breakdown
+from ..analysis.report import format_table
+from ..workloads.kernelbench import KERNEL_BENCHMARKS
+
+
+@dataclass
+class Fig4Result:
+    breakdowns: List[InflationBreakdown] = field(default_factory=list)
+
+    @property
+    def rows(self) -> List[List]:
+        return [
+            [b.name, b.native_bytes, b.sensmart_rewritten,
+             b.sensmart_shift, b.sensmart_trampoline, b.sensmart_total,
+             round(b.sensmart_ratio, 2), b.tkernel_bytes,
+             round(b.tkernel_ratio, 2)]
+            for b in self.breakdowns]
+
+    def render(self) -> str:
+        return format_table(
+            ["program", "native", "ss rewritten", "ss shift",
+             "ss trampoline", "ss total", "ss x", "t-kernel", "tk x"],
+            self.rows,
+            title="Figure 4: code inflation of kernel benchmarks (bytes)")
+
+    def by_name(self, name: str) -> InflationBreakdown:
+        for breakdown in self.breakdowns:
+            if breakdown.name == name:
+                return breakdown
+        raise KeyError(name)
+
+
+def run(parameters: Dict[str, dict] = None) -> Fig4Result:
+    """Measure every benchmark (sizes are iteration-independent)."""
+    parameters = parameters or {}
+    result = Fig4Result()
+    for name in sorted(KERNEL_BENCHMARKS):
+        source = KERNEL_BENCHMARKS[name](**parameters.get(name, {}))
+        result.breakdowns.append(inflation_breakdown(name, source))
+    return result

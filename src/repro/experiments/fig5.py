@@ -1,0 +1,99 @@
+"""Figure 5: execution time of the kernel benchmark programs.
+
+Series: native; SenSmart with memory protection only; SenSmart with
+memory protection + task scheduling (full); t-kernel (post-warm-up —
+the paper's bars exclude the one-time rewriting delay, which Figure 6a
+accounts for separately).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..analysis.report import format_table
+from ..baselines.native import run_native
+from ..baselines.tkernel import TkernelRunner
+from ..kernel import KernelConfig, SensorNode
+from ..workloads.kernelbench import KERNEL_BENCHMARKS
+
+#: Iteration scaling per benchmark so each runs long enough to measure.
+DEFAULT_PARAMS: Dict[str, dict] = {
+    "am": {"packets": 8},
+    "amplitude": {"samples": 64},
+    "crc": {"rounds": 16},
+    "eventchain": {"rounds": 64},
+    "lfsr": {"steps": 8192},
+    "readadc": {"samples": 64},
+    "timer": {"ticks": 256},
+}
+
+CLOCK_HZ = 7_372_800
+
+
+@dataclass
+class Fig5Row:
+    name: str
+    native_cycles: int
+    sensmart_protection_cycles: int
+    sensmart_full_cycles: int
+    tkernel_cycles: int
+
+    def seconds(self, cycles: int) -> float:
+        return cycles / CLOCK_HZ
+
+
+@dataclass
+class Fig5Result:
+    measurements: List[Fig5Row] = field(default_factory=list)
+
+    @property
+    def rows(self) -> List[List]:
+        return [
+            [m.name, m.native_cycles, m.sensmart_protection_cycles,
+             m.sensmart_full_cycles, m.tkernel_cycles,
+             round(m.sensmart_full_cycles / m.native_cycles, 2),
+             round(m.tkernel_cycles / m.native_cycles, 2)]
+            for m in self.measurements]
+
+    def render(self) -> str:
+        return format_table(
+            ["program", "native", "ss protection", "ss full",
+             "t-kernel", "ss x", "tk x"],
+            self.rows,
+            title="Figure 5: execution time of kernel benchmarks (cycles)")
+
+    def by_name(self, name: str) -> Fig5Row:
+        for measurement in self.measurements:
+            if measurement.name == name:
+                return measurement
+        raise KeyError(name)
+
+
+def _sensmart_cycles(name: str, source: str, scheduling: bool) -> int:
+    config = KernelConfig(enable_scheduling=scheduling)
+    node = SensorNode.from_sources([(name, source)], config=config)
+    node.run(max_instructions=100_000_000)
+    assert node.finished, f"{name} did not finish under SenSmart"
+    return node.cpu.cycles
+
+
+def run(parameters: Dict[str, dict] = None) -> Fig5Result:
+    parameters = {**DEFAULT_PARAMS, **(parameters or {})}
+    result = Fig5Result()
+    for name in sorted(KERNEL_BENCHMARKS):
+        source = KERNEL_BENCHMARKS[name](**parameters.get(name, {}))
+        native = run_native(source, max_instructions=100_000_000)
+        assert native.finished
+        tkernel = TkernelRunner(source).run(max_instructions=100_000_000)
+        assert tkernel.finished
+        result.measurements.append(Fig5Row(
+            name=name,
+            native_cycles=native.cycles,
+            sensmart_protection_cycles=_sensmart_cycles(
+                name, source, scheduling=False),
+            sensmart_full_cycles=_sensmart_cycles(
+                name, source, scheduling=True),
+            tkernel_cycles=tkernel.exec_cycles,
+        ))
+    return result

@@ -1,0 +1,125 @@
+"""Figure 7: binary-tree search — stack versatility under SenSmart.
+
+For each tree size, the node runs the data-feeding task (six trees)
+plus as many recursive search tasks as SenSmart can accommodate; the
+figure reports, per tree size:
+
+* the maximum number of schedulable search tasks (all complete, none
+  terminated for stack exhaustion);
+* the average stack allocation per task (time-averaged over scheduling
+  events);
+* the number of stack relocations performed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..analysis.report import format_table
+from ..errors import OutOfMemory
+from ..kernel import KernelConfig, SensorNode
+from ..workloads.bintree import feeder_source, search_task_source
+
+DEFAULT_TREE_SIZES = [10, 20, 30, 40, 50, 60]
+SEARCHES = 12
+FEEDER_UPDATES = 30
+MAX_TASKS = 24
+
+
+@dataclass
+class Fig7Point:
+    tree_nodes: int
+    max_search_tasks: int
+    avg_stack_allocation: float
+    relocations: int
+    terminations_at_limit: int  # at max+1 tasks (what broke the camel)
+
+
+@dataclass
+class Fig7Result:
+    points: List[Fig7Point] = field(default_factory=list)
+
+    @property
+    def rows(self) -> List[List]:
+        return [[p.tree_nodes, p.max_search_tasks,
+                 round(p.avg_stack_allocation, 1), p.relocations]
+                for p in self.points]
+
+    def render(self) -> str:
+        return format_table(
+            ["nodes/tree", "max schedulable search tasks",
+             "avg stack per task (B)", "stack relocations"],
+            self.rows,
+            title="Figure 7: binary-tree search under SenSmart")
+
+
+def _try_configuration(tree_nodes: int, search_tasks: int,
+                       ) -> Optional[Tuple[float, int, int]]:
+    """Run feeder + N search tasks.
+
+    Returns (avg stack allocation, relocations, abnormal terminations);
+    None when the configuration cannot even be loaded or a task dies.
+    """
+    sources = [("feeder", feeder_source(nodes_per_tree=tree_nodes,
+                                        trees=6,
+                                        updates=FEEDER_UPDATES))]
+    for index in range(search_tasks):
+        sources.append((
+            f"search{index}",
+            search_task_source(nodes=tree_nodes, searches=SEARCHES,
+                               seed=0x1357 + 0x1111 * index)))
+    config = KernelConfig(time_slice_cycles=20_000)
+    try:
+        node = SensorNode.from_sources(sources, config=config)
+    except OutOfMemory:
+        return None
+    kernel = node.kernel
+
+    # Time-averaged stack allocation per task, sampled at every
+    # scheduler entry while the full task population is resident (after
+    # tasks exit, survivors inherit their memory and would skew the
+    # average upward).
+    population = len(sources)
+    samples: List[float] = []
+    original_tick = kernel.scheduler_tick
+
+    def sampling_tick():
+        regions = kernel.regions.regions
+        if len(regions) == population:
+            samples.append(sum(r.stack_size for r in regions)
+                           / len(regions))
+        original_tick()
+
+    kernel.scheduler_tick = sampling_tick
+    node.run(max_instructions=400_000_000)
+    abnormal = [t for t in kernel.tasks.values()
+                if t.exit_reason != "exit"]
+    if not node.finished or abnormal:
+        return None
+    average = sum(samples) / len(samples) if samples else 0.0
+    return average, kernel.stats.relocations, len(abnormal)
+
+
+def run(tree_sizes: List[int] = None,
+        max_tasks: int = MAX_TASKS) -> Fig7Result:
+    tree_sizes = tree_sizes if tree_sizes is not None \
+        else DEFAULT_TREE_SIZES
+    result = Fig7Result()
+    for nodes in tree_sizes:
+        best = 0
+        best_metrics = (0.0, 0, 0)
+        for count in range(1, max_tasks + 1):
+            metrics = _try_configuration(nodes, count)
+            if metrics is None:
+                break
+            best = count
+            best_metrics = metrics
+        average, relocations, _ = best_metrics
+        result.points.append(Fig7Point(
+            tree_nodes=nodes,
+            max_search_tasks=best,
+            avg_stack_allocation=average,
+            relocations=relocations,
+            terminations_at_limit=0))
+    return result

@@ -1,0 +1,71 @@
+"""Run every experiment and collect the outputs.
+
+``quick=True`` shrinks sweeps to smoke-test size (used by CI tests);
+the defaults regenerate the full (scaled) paper evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from . import (extra_compiled, extra_copyswitch, extra_energy,
+               extra_latency, fig4, fig5, fig6, fig7, fig8, table1,
+               table2)
+
+
+@dataclass
+class SuiteResult:
+    results: Dict[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        parts: List[str] = []
+        for name, result in self.results.items():
+            parts.append(f"===== {name} =====")
+            parts.append(result.render())
+            parts.append("")
+        return "\n".join(parts)
+
+
+def experiment_functions(quick: bool = False) -> Dict[str, Callable]:
+    """Experiment id -> zero-argument callable."""
+    if quick:
+        return {
+            "table1": table1.run,
+            "table2": lambda: table2.run(reps=8),
+            "fig4": fig4.run,
+            "fig5": fig5.run,
+            "fig6": lambda: fig6.run(sizes=[10_000, 60_000, 120_000],
+                                     activations=5),
+            "fig7": lambda: fig7.run(tree_sizes=[20, 60], max_tasks=12),
+            "fig8": lambda: fig8.run(tree_sizes=[20, 60], max_tasks=12),
+            "copyswitch": extra_copyswitch.run,
+            "latency": lambda: extra_latency.run(),
+            "energy": lambda: extra_energy.run(sizes=[10_000, 60_000],
+                                               activations=5),
+            "compiled": extra_compiled.run,
+        }
+    return {
+        "table1": table1.run,
+        "table2": table2.run,
+        "fig4": fig4.run,
+        "fig5": fig5.run,
+        "fig6": fig6.run,
+        "fig7": fig7.run,
+        "fig8": fig8.run,
+        "copyswitch": extra_copyswitch.run,
+        "latency": extra_latency.run,
+        "energy": extra_energy.run,
+        "compiled": extra_compiled.run,
+    }
+
+
+def run_all(quick: bool = False,
+            only: List[str] = None) -> SuiteResult:
+    functions = experiment_functions(quick=quick)
+    suite = SuiteResult()
+    for name, function in functions.items():
+        if only and name not in only:
+            continue
+        suite.results[name] = function()
+    return suite

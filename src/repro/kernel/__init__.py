@@ -1,0 +1,18 @@
+"""The SenSmart kernel runtime.
+
+Cooperates with the binary rewriter: every patched site in a naturalized
+program traps into this runtime, which implements logical addressing,
+software-trap preemptive scheduling, and versatile stack management
+(paper Section IV).
+"""
+
+from .config import KernelConfig
+from .kernel import SenSmartKernel
+from .node import SensorNode
+from .regions import MemoryRegion, RegionTable
+from .task import Task, TaskState
+
+__all__ = [
+    "KernelConfig", "SenSmartKernel", "SensorNode",
+    "MemoryRegion", "RegionTable", "Task", "TaskState",
+]

@@ -1,0 +1,33 @@
+"""Register context save/restore for task switching."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TaskContext:
+    """A task's saved CPU state.
+
+    ``sp`` is the *physical* stack pointer: during execution the CPU's
+    SP register holds physical addresses (stack pushes and pops then run
+    at native layout), and the SP get/set trampolines convert to and
+    from the logical view applications see (paper Section IV-C2).
+    """
+
+    regs: bytearray = field(default_factory=lambda: bytearray(32))
+    pc: int = 0
+    sreg: int = 0
+    sp: int = 0
+
+    def save_from(self, cpu) -> None:
+        self.regs[:] = cpu.r
+        self.pc = cpu.pc
+        self.sreg = cpu.sreg
+        self.sp = cpu.sp
+
+    def restore_to(self, cpu) -> None:
+        cpu.r[:] = self.regs
+        cpu.pc = self.pc
+        cpu.sreg = self.sreg
+        cpu.sp = self.sp

@@ -1,0 +1,460 @@
+"""SenSmartKernel: boot, load, schedule, and account.
+
+Ties together the pieces: the CPU executes naturalized code natively;
+patched sites trap into :class:`~.traps.TrapHandlers`; this class owns
+tasks, regions, the scheduler, the stack relocator, and the virtual
+timer service, and keeps the statistics the experiments report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..avr import ioports
+from ..avr.cpu import AvrCpu
+from ..avr.memory import Flash
+from ..errors import KernelError, OutOfMemory
+from ..toolchain.image import TargetImage
+from . import costs
+from .config import KernelConfig
+from .regions import MemoryRegion, RegionTable
+from .relocation import StackRelocator
+from .scheduler import RoundRobinScheduler
+from .task import Task, TaskState
+from .translation import AddressTranslator
+from .traps import TrapHandlers
+
+
+@dataclass
+class KernelStats:
+    """Run statistics the experiments consume."""
+
+    idle_cycles: int = 0
+    kernel_cycles: int = 0
+    context_switches: int = 0
+    scheduler_checks: int = 0
+    relocations: int = 0
+    relocation_bytes: int = 0
+    terminations: List[str] = field(default_factory=list)
+    #: Trap executions by PatchKind (the kernel-side profile).
+    trap_counts: Dict = field(default_factory=dict)
+
+    def busy_cycles(self, total_cycles: int) -> int:
+        return total_cycles - self.idle_cycles
+
+    def utilization(self, total_cycles: int) -> float:
+        if total_cycles == 0:
+            return 0.0
+        return self.busy_cycles(total_cycles) / total_cycles
+
+
+class SenSmartKernel:
+    """One simulated sensor node running SenSmart."""
+
+    def __init__(self, image: TargetImage,
+                 config: Optional[KernelConfig] = None,
+                 devices=()):
+        self.config = config if config is not None else KernelConfig()
+        self.image = image
+
+        flash = Flash()
+        image.burn(flash)
+        self.cpu = AvrCpu(flash, clock_hz=self.config.clock_hz)
+        for device in devices:
+            self.cpu.attach_device(device)
+
+        self.translator = AddressTranslator(self.config)
+        self.regions = RegionTable(self.config)
+        self.scheduler = RoundRobinScheduler(self.config)
+        self.trampolines = image.trampolines_by_address
+        self.handlers = TrapHandlers(self)
+        self.cpu.set_trap_region(image.trap_region[0], image.trap_region[1],
+                                 self.handlers.dispatch)
+
+        self.tasks: Dict[int, Task] = {}
+        self.current: Optional[Task] = None
+        self.stats = KernelStats()
+        self._booted = False
+        self._account_from = 0
+
+        self._load_tasks()
+        self.relocator = StackRelocator(
+            self.config, self.cpu.mem, self.regions, self._sp_of)
+        self.relocator.on_sp_adjust = self._on_sp_adjust
+
+    # -- loading ---------------------------------------------------------------
+
+    def _load_tasks(self) -> None:
+        task_ids = list(range(len(self.image.tasks)))
+        heap_sizes = [t.heap_size for t in self.image.tasks]
+        self.regions.allocate_initial(heap_sizes, task_ids)
+        for task_id, task_image in zip(task_ids, self.image.tasks):
+            task = Task(task_id=task_id, image=task_image)
+            region = self.regions.by_task(task_id)
+            task.context.pc = task_image.entry
+            task.context.sp = self.translator.initial_sp(region)
+            task.branch_counter = self.config.branch_trap_period
+            self.tasks[task_id] = task
+            self.scheduler.enqueue(task)
+
+    # -- small accessors used by handlers -----------------------------------------
+
+    def region_of_current(self) -> MemoryRegion:
+        if self.current is None:
+            raise KernelError("no current task")
+        return self.regions.by_task(self.current.task_id)
+
+    def _sp_of(self, task_id: int) -> int:
+        if self.current is not None and self.current.task_id == task_id:
+            return self.cpu.sp
+        return self.tasks[task_id].context.sp
+
+    def _on_sp_adjust(self, task_id: int, delta: int) -> None:
+        if self.current is not None and self.current.task_id == task_id:
+            self.cpu.sp += delta
+        else:
+            self.tasks[task_id].context.sp += delta
+
+    def charge(self, cycles: int) -> None:
+        """Charge *cycles* to the clock and the kernel-overhead account."""
+        self.cpu.cycles += cycles
+        self.stats.kernel_cycles += cycles
+        if self.current is not None:
+            self.current.kernel_cycles += cycles
+
+    # -- virtualized I/O (SP / SREG / Timer3) ----------------------------------------
+
+    def io_read(self, address: int) -> int:
+        cpu = self.cpu
+        if address == ioports.SPL or address == ioports.SPH:
+            region = self.region_of_current()
+            logical = self.translator.sp_to_logical(region, cpu.sp)
+            return logical & 0xFF if address == ioports.SPL \
+                else (logical >> 8) & 0xFF
+        if address == ioports.TCNT3L:
+            ticks = cpu.cycles // self.config.timer3_prescaler
+            self.current._timer_latch_high = (ticks >> 8) & 0xFF
+            return ticks & 0xFF
+        if address == ioports.TCNT3H:
+            return self.current._timer_latch_high
+        if address in (ioports.OCR3AL, ioports.OCR3AH, ioports.TCCR3B,
+                       ioports.ETIFR):
+            return self._virtual_timer_read(address)
+        return cpu.data_read(address)
+
+    def io_write(self, address: int, value: int) -> None:
+        cpu = self.cpu
+        value &= 0xFF
+        if address in (ioports.SPL, ioports.SPH):
+            # Indirect writes to the SP bytes follow SP-write semantics.
+            region = self.region_of_current()
+            logical = self.translator.sp_to_logical(region, cpu.sp)
+            if address == ioports.SPL:
+                logical = (logical & 0xFF00) | value
+            else:
+                logical = (value << 8) | (logical & 0x00FF)
+            cpu.sp = self.translator.sp_to_physical(region, logical)
+            return
+        if address in ioports.TIMER3_ADDRESSES:
+            self._virtual_timer_write(address, value)
+            return
+        cpu.data_write(address, value)
+
+    # -- virtual timer service ------------------------------------------------------
+
+    def _virtual_timer_read(self, address: int) -> int:
+        task = self.current
+        if address == ioports.OCR3AL:
+            return (task.timer_period_cycles
+                    // self.config.timer3_prescaler) & 0xFF
+        if address == ioports.OCR3AH:
+            return ((task.timer_period_cycles
+                     // self.config.timer3_prescaler) >> 8) & 0xFF
+        if address == ioports.ETIFR:
+            return 1 if task.timer_pending else 0
+        return 0
+
+    def _virtual_timer_write(self, address: int, value: int) -> None:
+        """ABI: write OCR3AH then OCR3AL; the low write arms a periodic
+        virtual timer with the 16-bit tick period."""
+        task = self.current
+        if address == ioports.OCR3AH:
+            task._timer_latch_high = value
+            return
+        if address == ioports.OCR3AL:
+            ticks = (task._timer_latch_high << 8) | value
+            task.timer_period_cycles = self.config.ticks_to_cycles(ticks)
+            if task.timer_period_cycles > 0:
+                task.timer_next_fire = self.cpu.cycles + \
+                    task.timer_period_cycles
+                task.timer_pending = 0
+            else:
+                task.timer_next_fire = None
+            return
+        if address == ioports.ETIFR and value:
+            task.timer_pending = 0
+        # TCCR3B writes are accepted and ignored: virtual timers are
+        # always armed by the OCR3A write in this ABI.
+
+    def _service_virtual_timers(self) -> None:
+        now = self.cpu.cycles
+        for task in self.tasks.values():
+            if not task.alive or task.timer_next_fire is None:
+                continue
+            while now >= task.timer_next_fire:
+                task.timer_next_fire += task.timer_period_cycles
+                if task.state is TaskState.BLOCKED:
+                    # The fire is consumed by the wake-up itself.
+                    task.wake_cycle = None
+                    self.scheduler.enqueue(task)
+                else:
+                    task.timer_pending += 1
+
+    # -- stack growth -------------------------------------------------------------------
+
+    def ensure_stack_room(self, need_bytes: int) -> bool:
+        """Make sure the current stack can take *need_bytes* more.
+
+        Triggers stack relocation on impending overflow; on failure the
+        current task is terminated and False is returned.
+        """
+        cpu = self.cpu
+        region = self.region_of_current()
+        task = self.current
+        if cpu.sp < task.min_sp_seen:
+            task.min_sp_seen = cpu.sp
+        depth = region.p_u - 1 - (cpu.sp - need_bytes)
+        if depth > task.max_stack_used:
+            task.max_stack_used = depth
+        floor = region.p_h + self.config.stack_margin
+        if cpu.sp - need_bytes + 1 >= floor:
+            return True
+        if self.config.enable_relocation:
+            deficit = floor - (cpu.sp - need_bytes + 1)
+            result = self.relocator.grow_stack(self.current.task_id,
+                                               deficit)
+            if result.moved:
+                self.charge(result.cycles)
+                self.stats.relocations += 1
+                self.stats.relocation_bytes += result.bytes_moved
+                self.current.stack_grows += 1
+                return True
+        self.terminate_task(self.current, "stack overflow")
+        return False
+
+    # -- scheduling --------------------------------------------------------------------
+
+    def scheduler_tick(self) -> None:
+        """Kernel entry from the 1/256 backward-branch trap."""
+        self._service_virtual_timers()
+        if not self.config.enable_scheduling:
+            return  # protection-only configuration (Figure 5 series)
+        self.charge(costs.SCHED_CHECK)
+        self.stats.scheduler_checks += 1
+        task = self.current
+        if task is not None and \
+                self.scheduler.slice_expired(task, self.cpu.cycles):
+            self.preempt()
+
+    def preempt(self) -> None:
+        """Put the running task back on the ready queue and switch."""
+        task = self.current
+        if task is None:
+            return
+        if len(self.scheduler) == 0:
+            # Nobody else to run: renew the slice without a switch.
+            task.slice_start_cycle = self.cpu.cycles
+            return
+        self._account_current()
+        task.state = TaskState.READY
+        self.scheduler.enqueue(task)
+        self.current = None
+        self._switch_to(self.scheduler.pick(), charge=costs.FULL_SWITCH)
+
+    def sleep_current(self) -> None:
+        """Block the current task until its virtual timer fires."""
+        task = self.current
+        if task.timer_pending > 0:
+            task.timer_pending -= 1
+            return  # a period already elapsed; continue immediately
+        if task.timer_next_fire is None:
+            self.terminate_task(task, "sleep with no timer armed")
+            return
+        self._account_current()
+        task.state = TaskState.BLOCKED
+        task.wake_cycle = task.timer_next_fire
+        self.current = None
+        self._dispatch_next()
+
+    def terminate_task(self, task: Task, reason: str) -> None:
+        if task is None or not task.alive:
+            return
+        task.state = TaskState.TERMINATED
+        task.exit_reason = reason
+        self.stats.terminations.append(f"{task.name}: {reason}")
+        self.scheduler.remove(task)
+        was_current = self.current is task
+        if was_current:
+            self._account_current()
+            self.current = None
+        if self.regions.maybe_by_task(task.task_id) is not None:
+            grant = self.regions.release(task.task_id)
+            self._apply_release_grant(grant)
+        if was_current:
+            self._dispatch_next()
+
+    def _apply_release_grant(self, grant) -> None:
+        """Physically apply a region release (see ReleaseGrant)."""
+        if grant is None:
+            return
+        if grant.heap_move is not None:
+            src, dst, length = grant.heap_move
+            self.cpu.mem.move_block(src, dst, length)
+        if grant.stack_grant is not None:
+            # The absorbing region's logical->physical displacement
+            # changed with its new p_u: slide its live stack up so
+            # logical stack addresses keep resolving to the same bytes.
+            task_id, old_p_u, delta = grant.stack_grant
+            sp = self._sp_of(task_id)
+            used = old_p_u - (sp + 1)
+            if used > 0:
+                self.cpu.mem.move_block(sp + 1, sp + 1 + delta, used)
+            self._on_sp_adjust(task_id, delta)
+
+    def fault_current(self, reason: str) -> None:
+        self.terminate_task(self.current, reason)
+
+    def _dispatch_next(self) -> None:
+        """Pick the next task; idle (advance time) when all are blocked."""
+        while True:
+            task = self.scheduler.pick()
+            if task is not None:
+                self._switch_to(task, charge=costs.CONTEXT_RESTORE)
+                return
+            wake_cycles = [t.wake_cycle for t in self.tasks.values()
+                           if t.state is TaskState.BLOCKED
+                           and t.wake_cycle is not None]
+            if not wake_cycles:
+                self.cpu.halted = True  # no runnable or wakeable task left
+                return
+            wake = min(wake_cycles)
+            if wake > self.cpu.cycles:
+                self.stats.idle_cycles += wake - self.cpu.cycles
+                self.cpu.cycles = wake
+            self._service_virtual_timers()
+
+    def _switch_to(self, task: Task, charge: int) -> None:
+        if self.current is not None:
+            self._account_current()
+            self.current.context.save_from(self.cpu)
+        task.context.restore_to(self.cpu)
+        task.state = TaskState.RUNNING
+        task.slice_start_cycle = self.cpu.cycles
+        task.switches += 1
+        self.current = task
+        self.stats.context_switches += 1
+        self.charge(charge)
+        self._account_from = self.cpu.cycles
+
+    def _account_current(self) -> None:
+        if self.current is not None:
+            self.current.context.save_from(self.cpu)
+            self.current.cycles_used += self.cpu.cycles - self._account_from
+            self._account_from = self.cpu.cycles
+
+    # -- running ------------------------------------------------------------------------
+
+    def boot(self) -> None:
+        if self._booted:
+            return
+        self._booted = True
+        self.charge(costs.SYSTEM_INIT)
+        first = self.scheduler.pick()
+        if first is None:
+            raise KernelError("no tasks to run")
+        first.context.restore_to(self.cpu)
+        first.state = TaskState.RUNNING
+        first.slice_start_cycle = self.cpu.cycles
+        self.current = first
+        self._account_from = self.cpu.cycles
+
+    def run(self, max_cycles: Optional[int] = None,
+            max_instructions: Optional[int] = None,
+            until: Optional[Callable] = None) -> None:
+        """Boot (if needed) and run until done or a limit is reached."""
+        self.boot()
+        self.cpu.run(max_cycles=max_cycles,
+                     max_instructions=max_instructions, until=until)
+        self._account_current()
+
+    # -- dynamic loading (reprogramming service) --------------------------------------
+
+    @property
+    def loader(self):
+        """Lazily-created :class:`~.loader.DynamicLoader`."""
+        if not hasattr(self, "_loader"):
+            from .loader import DynamicLoader
+            self._loader = DynamicLoader(self)
+        return self._loader
+
+    def load_task(self, name: str, source: str, min_stack: int = None):
+        """Install a new application on the running node."""
+        return self.loader.load(name, source, min_stack=min_stack)
+
+    def unload_task(self, name: str) -> None:
+        """Terminate a task by name and reclaim its memory region."""
+        self.loader.unload(name)
+
+    # -- reporting ------------------------------------------------------------------------
+
+    @property
+    def alive_tasks(self) -> List[Task]:
+        return [t for t in self.tasks.values() if t.alive]
+
+    def snapshot(self) -> Dict:
+        """Diagnostic view of the node: tasks, regions, statistics."""
+        regions = {
+            region.task_id: {
+                "p_l": region.p_l, "p_h": region.p_h, "p_u": region.p_u,
+                "heap": region.heap_size, "stack": region.stack_size,
+            }
+            for region in self.regions.regions}
+        tasks = {}
+        for task in self.tasks.values():
+            tasks[task.task_id] = {
+                "name": task.name,
+                "state": task.state.value,
+                "exit_reason": task.exit_reason,
+                "pc": self.cpu.pc if task is self.current
+                else task.context.pc,
+                "sp": self._sp_of(task.task_id)
+                if task.task_id in regions else None,
+                "cycles_used": task.cycles_used,
+                "kernel_cycles": task.kernel_cycles,
+                "max_stack_used": task.max_stack_used,
+                "region": regions.get(task.task_id),
+            }
+        return {
+            "cycles": self.cpu.cycles,
+            "instructions": self.cpu.instret,
+            "current": self.current.task_id
+            if self.current is not None else None,
+            "tasks": tasks,
+            "idle_cycles": self.stats.idle_cycles,
+            "kernel_cycles": self.stats.kernel_cycles,
+            "context_switches": self.stats.context_switches,
+            "relocations": self.stats.relocations,
+        }
+
+    def features(self) -> Dict[str, bool]:
+        """Capability flags cross-checked by the Table I experiment."""
+        return {
+            "preemptive_multitasking": self.config.enable_scheduling,
+            "concurrent_applications": True,
+            "interrupt_free_preemption": True,
+            "memory_protection": True,
+            "logical_memory_address": True,
+            "automatic_memory_management": True,
+            "stack_relocation": self.config.enable_relocation,
+        }

@@ -1,0 +1,78 @@
+"""SensorNode: the one-call facade for building and running a node.
+
+Bundles the pipeline — compile, rewrite, link, boot — so examples and
+experiments can say::
+
+    node = SensorNode.from_sources([("blink", SRC1), ("sense", SRC2)])
+    node.run(max_cycles=10_000_000)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..avr.devices import Adc, Leds, Radio, Timer0
+from ..rewriter.rewriter import Rewriter
+from ..toolchain.linker import link_image
+from .config import KernelConfig
+from .kernel import SenSmartKernel
+
+
+class SensorNode:
+    """A simulated MICA2-class node running SenSmart."""
+
+    def __init__(self, kernel: SenSmartKernel, devices: dict):
+        self.kernel = kernel
+        self.devices = devices
+
+    @classmethod
+    def from_sources(cls, sources: Sequence[Tuple[str, str]],
+                     config: Optional[KernelConfig] = None,
+                     rewriter: Optional[Rewriter] = None,
+                     adc_seed: int = 0xACE1) -> "SensorNode":
+        """Compile, rewrite and link *sources*, then boot a node."""
+        image = link_image(sources, rewriter=rewriter)
+        adc = Adc(seed=adc_seed)
+        radio = Radio()
+        leds = Leds()
+        timer0 = Timer0()  # Timer3 is kernel-owned; Timer0 is for apps
+        kernel = SenSmartKernel(image, config=config,
+                                devices=[adc, radio, leds, timer0])
+        return cls(kernel, {"adc": adc, "radio": radio, "leds": leds,
+                            "timer0": timer0})
+
+    @property
+    def cpu(self):
+        return self.kernel.cpu
+
+    @property
+    def stats(self):
+        return self.kernel.stats
+
+    @property
+    def adc(self) -> Adc:
+        return self.devices["adc"]
+
+    @property
+    def radio(self) -> Radio:
+        return self.devices["radio"]
+
+    @property
+    def leds(self) -> Leds:
+        return self.devices["leds"]
+
+    def run(self, max_cycles: Optional[int] = None,
+            max_instructions: Optional[int] = None,
+            until=None) -> None:
+        self.kernel.run(max_cycles=max_cycles,
+                        max_instructions=max_instructions, until=until)
+
+    @property
+    def finished(self) -> bool:
+        return self.cpu.halted
+
+    def task_named(self, name: str):
+        for task in self.kernel.tasks.values():
+            if task.name == name:
+                return task
+        raise KeyError(name)

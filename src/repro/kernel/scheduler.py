@@ -1,0 +1,50 @@
+"""Round-robin ready queue with time slices (paper Section IV-B).
+
+SenSmart schedules tasks round-robin with fixed time slices counted on
+Timer3, and preempts at software traps: one out of every 256 executed
+backward branches enters the kernel, which compares the running task's
+elapsed slice against the quantum.  Preemption therefore lags the slice
+boundary by at most the gap between traps — "usually no more than a
+couple of microseconds".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from .config import KernelConfig
+from .task import Task, TaskState
+
+
+class RoundRobinScheduler:
+    """FIFO ready queue; the running task re-enters at the tail."""
+
+    def __init__(self, config: KernelConfig):
+        self.config = config
+        self.ready: Deque[Task] = deque()
+
+    def enqueue(self, task: Task) -> None:
+        task.state = TaskState.READY
+        self.ready.append(task)
+
+    def pick(self) -> Optional[Task]:
+        """Pop the next runnable task, skipping dead entries."""
+        while self.ready:
+            task = self.ready.popleft()
+            if task.state is TaskState.READY:
+                return task
+        return None
+
+    def remove(self, task: Task) -> None:
+        try:
+            self.ready.remove(task)
+        except ValueError:
+            pass
+
+    def slice_expired(self, task: Task, now_cycles: int) -> bool:
+        return now_cycles - task.slice_start_cycle >= \
+            self.config.time_slice_cycles
+
+    def __len__(self) -> int:
+        return sum(1 for t in self.ready if t.state is TaskState.READY)

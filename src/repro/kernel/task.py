@@ -1,0 +1,75 @@
+"""Task control block."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..toolchain.image import TaskImage
+from .context import TaskContext
+
+
+class TaskState(enum.Enum):
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"      # sleeping until ``wake_cycle``
+    TERMINATED = "terminated"
+
+
+@dataclass
+class Task:
+    """One application task: a process with its own memory region.
+
+    SenSmart tasks are process-like, not thread-like — each has an
+    independent logical address space with a heap and a stack (paper
+    Section IV-C1).
+    """
+
+    task_id: int
+    image: TaskImage
+    context: TaskContext = field(default_factory=TaskContext)
+    state: TaskState = TaskState.READY
+
+    # -- scheduling state ---------------------------------------------------
+    branch_counter: int = 0        # counts down to the next kernel entry
+    slice_start_cycle: int = 0
+    wake_cycle: Optional[int] = None
+
+    # -- virtual timer service (intercepted Timer3) --------------------------
+    timer_period_cycles: int = 0   # 0 = no periodic timer armed
+    timer_next_fire: Optional[int] = None
+    timer_pending: int = 0         # fires not yet consumed by SLEEP
+    _timer_latch_high: int = 0     # OCR3AH write latch
+
+    # -- accounting -----------------------------------------------------------
+    cycles_used: int = 0
+    kernel_cycles: int = 0
+    switches: int = 0
+    stack_grows: int = 0
+    #: Lowest physical SP observed at a stack check (high-water mark of
+    #: stack usage; interpret against the region geometry at that time).
+    min_sp_seen: int = 0xFFFF
+    #: Largest stack depth in bytes the task ever reached.
+    max_stack_used: int = 0
+    exit_reason: str = ""
+
+    @property
+    def name(self) -> str:
+        return self.image.name
+
+    @property
+    def heap_size(self) -> int:
+        return self.image.heap_size
+
+    @property
+    def alive(self) -> bool:
+        return self.state is not TaskState.TERMINATED
+
+    def owns_code(self, address: int) -> bool:
+        """Does a flash word address fall inside this task's program?"""
+        return self.image.natural.contains(address)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Task {self.task_id} {self.name!r} {self.state.value} "
+                f"pc={self.context.pc:#06x} sp={self.context.sp:#06x}>")

@@ -1,0 +1,5 @@
+"""Multi-node composition: links and lockstep network simulation."""
+
+from .network import Link, Network
+
+__all__ = ["Link", "Network"]

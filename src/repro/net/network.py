@@ -1,0 +1,147 @@
+"""A small network simulator over SensorNode radios.
+
+The paper's setting is *networked* sensor applications; this module
+lets several :class:`~repro.kernel.SensorNode` instances run in
+lockstep with their radios wired through lossy, delayed byte links —
+one node's TX log feeds another's RX queue.
+
+Timing model: nodes advance in fixed quanta of simulated cycles; bytes
+transmitted during a quantum arrive at the receiver after the link
+latency (rounded up to the next quantum boundary).  Loss is
+deterministic, driven by a per-link LFSR, so network runs reproduce
+exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+from ..kernel.node import SensorNode
+
+DEFAULT_QUANTUM_CYCLES = 10_000
+
+
+@dataclass
+class _PendingByte:
+    value: int
+    due_cycle: int  # receiver-local cycle when it arrives
+
+
+@dataclass
+class Link:
+    """A unidirectional byte link between two nodes' radios."""
+
+    source: str
+    destination: str
+    latency_cycles: int = 2_000
+    loss_permille: int = 0  # deterministic loss rate, 0..1000
+    _tx_cursor: int = 0
+    _lfsr: int = 0xB5AD
+    in_flight: List[_PendingByte] = field(default_factory=list)
+    delivered: int = 0
+    dropped: int = 0
+
+    def _lose(self) -> bool:
+        if self.loss_permille <= 0:
+            return False
+        lfsr = self._lfsr
+        bit = ((lfsr >> 0) ^ (lfsr >> 2) ^ (lfsr >> 3) ^ (lfsr >> 5)) & 1
+        self._lfsr = ((lfsr >> 1) | (bit << 15)) & 0xFFFF
+        return (self._lfsr % 1000) < self.loss_permille
+
+
+class Network:
+    """Runs several nodes in lockstep and ferries radio bytes."""
+
+    def __init__(self, quantum_cycles: int = DEFAULT_QUANTUM_CYCLES):
+        self.quantum_cycles = quantum_cycles
+        self.nodes: Dict[str, SensorNode] = {}
+        self.links: List[Link] = []
+
+    # -- topology ---------------------------------------------------------------
+
+    def add_node(self, name: str, node: SensorNode) -> SensorNode:
+        if name in self.nodes:
+            raise ReproError(f"duplicate node name {name!r}")
+        self.nodes[name] = node
+        return node
+
+    def connect(self, source: str, destination: str,
+                latency_cycles: int = 2_000,
+                loss_permille: int = 0,
+                bidirectional: bool = False) -> None:
+        for name in (source, destination):
+            if name not in self.nodes:
+                raise ReproError(f"unknown node {name!r}")
+        self.links.append(Link(source=source, destination=destination,
+                               latency_cycles=latency_cycles,
+                               loss_permille=loss_permille))
+        if bidirectional:
+            self.links.append(Link(source=destination, destination=source,
+                                   latency_cycles=latency_cycles,
+                                   loss_permille=loss_permille))
+
+    # -- execution -----------------------------------------------------------------
+
+    def run(self, max_cycles: int = 100_000_000,
+            until_all_finished: bool = True) -> None:
+        """Advance all nodes in lockstep until done or out of budget."""
+        while True:
+            active = [n for n in self.nodes.values() if not n.finished]
+            if until_all_finished and not active:
+                return
+            if all(n.finished or n.cpu.cycles >= max_cycles
+                   for n in self.nodes.values()):
+                return  # everyone is done or out of budget
+            progressed = False
+            for node in self.nodes.values():
+                if node.finished or node.cpu.cycles >= max_cycles:
+                    continue
+                target = min(node.cpu.cycles + self.quantum_cycles,
+                             max_cycles)
+                before = node.cpu.cycles
+                node.run(max_cycles=target)
+                if node.cpu.cycles > before or node.finished:
+                    progressed = True
+            self._ferry()
+            if not progressed:
+                return  # everyone is stuck (e.g. waiting on RX forever)
+
+    def _ferry(self) -> None:
+        """Move newly transmitted bytes onto links; deliver due bytes."""
+        for link in self.links:
+            src = self.nodes[link.source]
+            dst = self.nodes[link.destination]
+            fresh = src.radio.transmitted[link._tx_cursor:]
+            link._tx_cursor = len(src.radio.transmitted)
+            for value in fresh:
+                if link._lose():
+                    link.dropped += 1
+                    continue
+                link.in_flight.append(_PendingByte(
+                    value=value,
+                    due_cycle=dst.cpu.cycles + link.latency_cycles))
+            still: List[_PendingByte] = []
+            for pending in link.in_flight:
+                if pending.due_cycle <= dst.cpu.cycles + \
+                        self.quantum_cycles:
+                    dst.radio.deliver(bytes([pending.value]))
+                    link.delivered += 1
+                else:
+                    still.append(pending)
+            link.in_flight = still
+
+    # -- inspection ------------------------------------------------------------------
+
+    def link_between(self, source: str,
+                     destination: str) -> Optional[Link]:
+        for link in self.links:
+            if link.source == source and link.destination == destination:
+                return link
+        return None
+
+    def stats(self) -> List[Tuple[str, str, int, int]]:
+        return [(link.source, link.destination, link.delivered,
+                 link.dropped) for link in self.links]

@@ -1,0 +1,22 @@
+"""Base-station binary rewriter — SenSmart's binary-translation half.
+
+The rewriter turns a compiled :class:`~repro.toolchain.program.Program`
+into a *naturalized* program (paper Section IV-A): every instruction that
+affects control flow, touches data memory, mutates the stack pointer, or
+reaches an OS-reserved resource is replaced in place by a single
+``JMP`` into a trampoline appended after the application code.
+"""
+
+from .classify import PatchKind, classify
+from .naturalized import NaturalizedProgram, RewriteStats
+from .rewriter import Rewriter
+from .shift_table import ShiftTable
+from .trampoline import Trampoline, TrampolinePool
+
+__all__ = [
+    "PatchKind", "classify",
+    "NaturalizedProgram", "RewriteStats",
+    "Rewriter",
+    "ShiftTable",
+    "Trampoline", "TrampolinePool",
+]

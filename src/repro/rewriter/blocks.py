@@ -1,0 +1,89 @@
+"""Basic-block construction over a decoded program.
+
+The rewriter uses basic blocks for the grouped-memory-access
+optimization (paper Section IV-C2): "basic block information can be used
+by the rewriter to ensure correctness" when translating an address once
+for several accesses through the same pointer register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from ..avr.instruction import DataWord, Instruction
+from ..avr.isa import Format, Kind
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction sequence."""
+
+    start: int  # word address of the first instruction
+    instructions: List[Instruction] = field(default_factory=list)
+
+    @property
+    def end(self) -> int:
+        """Word address one past the last instruction."""
+        if not self.instructions:
+            return self.start
+        return self.instructions[-1].next_address
+
+
+def _leaders(instructions: List[Instruction]) -> Set[int]:
+    """Word addresses that start a basic block."""
+    if not instructions:
+        return set()
+    leaders = {instructions[0].address}
+    addresses = {ins.address for ins in instructions}
+    for ins in instructions:
+        kind = ins.kind
+        if kind & Kind.BRANCH:
+            # The fall-through (if any) starts a block, and so does a
+            # statically-known target.
+            if ins.mnemonic not in ("RET", "RETI", "IJMP", "ICALL",
+                                    "JMP", "RJMP"):
+                leaders.add(ins.next_address)
+            if ins.mnemonic in ("CALL", "RCALL"):
+                leaders.add(ins.next_address)
+            fmt = ins.opspec.fmt
+            if fmt in (Format.REL12, Format.BRANCH, Format.JMPCALL):
+                target = ins.branch_target()
+                if target in addresses:
+                    leaders.add(target)
+        elif kind & Kind.SKIP:
+            # Both the skipped instruction and its successor are
+            # potential entry points.
+            leaders.add(ins.next_address)
+    return leaders & addresses | {instructions[0].address}
+
+
+def build_blocks(items) -> List[BasicBlock]:
+    """Partition a program's instructions into basic blocks.
+
+    *items* is the program's item list; data words end the current block
+    (execution never falls through data in well-formed programs).
+    """
+    instructions = [item for item in items if isinstance(item, Instruction)]
+    leaders = _leaders(instructions)
+    blocks: List[BasicBlock] = []
+    current: BasicBlock = None
+    previous_ended = True
+    for item in items:
+        if isinstance(item, DataWord):
+            current = None
+            previous_ended = True
+            continue
+        starts_new = item.address in leaders or previous_ended
+        if starts_new or current is None:
+            current = BasicBlock(start=item.address)
+            blocks.append(current)
+        current.instructions.append(item)
+        kind = item.kind
+        previous_ended = bool(kind & Kind.BRANCH) and \
+            item.mnemonic in ("RET", "RETI", "RJMP", "JMP", "IJMP")
+        # A skip also ends the block conservatively: the next instruction
+        # may or may not execute.
+        if kind & Kind.SKIP:
+            previous_ended = True
+    return blocks

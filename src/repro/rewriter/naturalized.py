@@ -1,0 +1,110 @@
+"""Naturalized-program container and rewrite statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Tuple, Union
+
+from ..avr.instruction import DataWord, Instruction
+from .classify import PatchKind
+from .shift_table import ShiftTable
+
+if TYPE_CHECKING:  # avoid a circular import with the toolchain package
+    from ..toolchain.program import Program
+
+
+@dataclass(frozen=True)
+class Site:
+    """One patched site in the naturalized code."""
+
+    address: int          # naturalized word address of the JMP
+    kind: PatchKind
+    pool_index: int       # trampoline slot in the pool
+    original: Instruction  # the instruction this site replaces
+    params: Tuple         # decoded parameters handlers dispatch on
+
+    @property
+    def resume_address(self) -> int:
+        """Naturalized address of the instruction after this site."""
+        return self.address + 2
+
+
+@dataclass
+class RewriteStats:
+    """Code-size decomposition used by Figure 4."""
+
+    native_bytes: int = 0        # original program size
+    rewritten_bytes: int = 0     # naturalized body (same instr count)
+    shift_table_bytes: int = 0   # shift table flash cost
+    trampoline_bytes: int = 0    # trampolines newly allocated for this
+                                 # program (merged ones count once)
+    patched_sites: int = 0
+    grouped_sites: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return (self.rewritten_bytes + self.shift_table_bytes
+                + self.trampoline_bytes)
+
+    @property
+    def inflation_ratio(self) -> float:
+        """total size relative to native size (1.0 = no inflation)."""
+        if self.native_bytes == 0:
+            return 1.0
+        return self.total_bytes / self.native_bytes
+
+
+@dataclass
+class NaturalizedProgram:
+    """The rewriter's output for one application program.
+
+    The body occupies naturalized flash words ``[base, base+size_words)``;
+    the original program's addresses live in the same range (shifted by
+    the shift table), preserving the paper's approximate linearity.
+    """
+
+    name: str
+    base: int
+    program: "Program"  # the original, compiled at ``base``
+    items: List[Union[Instruction, DataWord]] = field(default_factory=list)
+    words: List[int] = field(default_factory=list)
+    shift_table: ShiftTable = field(default_factory=ShiftTable)
+    sites: Dict[int, Site] = field(default_factory=dict)  # by nat address
+    stats: RewriteStats = field(default_factory=RewriteStats)
+    #: fixups: (word offset into ``words``, pool index) for JMP targets.
+    unresolved: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def size_words(self) -> int:
+        return len(self.words)
+
+    @property
+    def size_bytes(self) -> int:
+        return 2 * len(self.words)
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size_words
+
+    @property
+    def entry(self) -> int:
+        """Naturalized entry point."""
+        return self.shift_table.to_naturalized(self.program.entry)
+
+    @property
+    def heap_size(self) -> int:
+        return self.program.symbols.heap_size
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+    def resolve(self, pool) -> None:
+        """Fill in trampoline JMP targets once the pool is placed."""
+        from ..avr.encoding import encode
+        from ..avr.instruction import Instruction as Ins
+        for offset, pool_index in self.unresolved:
+            target = pool.address_of(pool_index)
+            word1, word2 = encode(Ins("JMP", (target,)))
+            self.words[offset] = word1
+            self.words[offset + 1] = word2
+        self.unresolved = []

@@ -1,0 +1,63 @@
+"""The shift table: mapping original to naturalized program addresses.
+
+SenSmart keeps the naturalized program *approximately linear* with the
+original: each patched 16-bit instruction inflates to a 32-bit ``JMP``,
+and a sorted array of the inflated sites' original addresses suffices to
+map any original instruction address to its naturalized location (paper
+Section IV-C2).  Runtime lookups (indirect branches, LPM) binary-search
+this array; everything statically resolvable is fixed up on the base
+station.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class ShiftTable:
+    """Sorted original word addresses of 16->32 bit inflated sites.
+
+    For an original address ``a`` (of an instruction start), the
+    naturalized address is ``a + (#entries strictly below a)`` — every
+    earlier inflated site pushed the code one word down.
+    """
+
+    base: int = 0  # original == naturalized program base address
+    entries: List[int] = field(default_factory=list)
+
+    def add(self, original_address: int) -> None:
+        insort(self.entries, original_address)
+
+    def to_naturalized(self, original_address: int) -> int:
+        """Map an original instruction address into the naturalized image."""
+        return original_address + bisect_right(
+            self.entries, original_address - 1)
+
+    def to_original(self, naturalized_address: int) -> int:
+        """Inverse mapping, used by diagnostics and tests.
+
+        Walks the entries (each entry *e* occupies naturalized range
+        ``[nat(e), nat(e)+2)``); linear in the number of preceding
+        entries but only used off the hot path.
+        """
+        shift = 0
+        for entry in self.entries:
+            nat = entry + shift
+            if naturalized_address <= nat:
+                break
+            if naturalized_address == nat + 1:
+                # Inside the second word of an inflated site.
+                return entry
+            shift += 1
+        return naturalized_address - shift
+
+    @property
+    def size_bytes(self) -> int:
+        """Flash cost: one 2-byte word address per entry."""
+        return 2 * len(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,20 @@
+"""Base-station toolchain: compile, link, and image handling.
+
+Mirrors the paper's Figure 1 pipeline::
+
+    source --compiler--> binary + symbol list
+           --rewriter--> naturalized code
+           --linker----> target image (kernel + naturalized programs)
+           --loader----> sensor node
+"""
+
+from .compile import compile_source
+from .image import TargetImage, TaskImage
+from .linker import link_image
+from .program import Program
+from .symbols import SymbolList
+
+__all__ = [
+    "compile_source", "link_image",
+    "Program", "SymbolList", "TargetImage", "TaskImage",
+]

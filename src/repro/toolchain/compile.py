@@ -1,0 +1,30 @@
+"""The "compiler" front of the toolchain.
+
+Applications are written in AVR assembly (see :mod:`repro.avr.assembler`)
+— the rewriter operates strictly on the binary plus the symbol list, so
+any front end emitting AVR code would do.  ``compile_source`` is also
+where a program gets re-targeted to its final flash placement: absolute
+references (``JMP``/``CALL`` targets, ``lo8/hi8`` of labels, jump tables)
+must assume the load address, so the linker re-invokes the compiler once
+bases are assigned.
+"""
+
+from __future__ import annotations
+
+from ..avr.assembler import Assembler
+from .program import Program, from_asm
+
+
+def compile_source(source: str, name: str = "app", origin: int = 0,
+                   bss_base: int = None) -> Program:
+    """Compile assembly *source* for flash word address *origin*.
+
+    *bss_base* overrides where ``.bss`` reservations start (default:
+    SRAM base).  SenSmart programs always compile at the default — each
+    task owns the whole logical space — while OS models without address
+    translation (LiteOS/MANTIS) place each thread's data at distinct
+    physical addresses.
+    """
+    assembler = Assembler() if bss_base is None else Assembler(bss_base)
+    assembled = assembler.assemble(source, name=name, origin=origin)
+    return from_asm(name, source, assembled)

@@ -1,0 +1,62 @@
+"""The kernel linker (paper Figure 1).
+
+Links multiple application programs with the pre-compiled kernel into a
+single target image:
+
+1. compile each program once to learn its naturalized size;
+2. assign consecutive flash bases after the kernel code region;
+3. re-compile each program *at its base* (absolute references must
+   assume final placement) and rewrite it into a shared trampoline pool,
+   so that similar trampolines merge across programs;
+4. place the trampoline region after the last program and resolve every
+   patched site's ``JMP`` target.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import LinkError
+from ..rewriter.rewriter import Rewriter
+from ..rewriter.trampoline import TrampolinePool
+from .compile import compile_source
+from .image import KERNEL_CODE_WORDS, TargetImage, TaskImage
+
+
+def link_image(sources: Sequence[Tuple[str, str]],
+               rewriter: Optional[Rewriter] = None,
+               merge_trampolines: bool = True,
+               code_start: int = KERNEL_CODE_WORDS) -> TargetImage:
+    """Build a target image from ``(name, assembly_source)`` pairs."""
+    if not sources:
+        raise LinkError("no programs to link")
+    rewriter = rewriter if rewriter is not None else Rewriter()
+
+    # Pass 1: sizes (placement-independent).
+    sizes = []
+    for name, source in sources:
+        probe = compile_source(source, name=name, origin=0)
+        sizes.append(rewriter.measure_words(probe))
+
+    # Pass 2: assign bases and rewrite at final placement.
+    pool = TrampolinePool(merge=merge_trampolines)
+    tasks: List[TaskImage] = []
+    cursor = code_start
+    for (name, source), size in zip(sources, sizes):
+        program = compile_source(source, name=name, origin=cursor)
+        natural = rewriter.rewrite(program, pool)
+        if natural.size_words != size:
+            raise LinkError(
+                f"{name}: naturalized size changed between passes "
+                f"({size} -> {natural.size_words} words)")
+        tasks.append(TaskImage(name=name, natural=natural))
+        cursor += size
+
+    # Pass 3: place trampolines and resolve JMP targets.
+    trap_lo = cursor
+    trap_hi = pool.place(trap_lo)
+    for task in tasks:
+        task.natural.resolve(pool)
+    return TargetImage(tasks=tasks, pool=pool,
+                       trap_region=(trap_lo, trap_hi),
+                       code_start=code_start)

@@ -1,0 +1,55 @@
+"""A compiled (but not yet naturalized) application program."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Union
+
+from ..avr.assembler import AsmProgram
+from ..avr.instruction import DataWord, Instruction
+from .symbols import SymbolList
+
+
+@dataclass(frozen=True)
+class Program:
+    """Compiler output: binary image plus symbol list.
+
+    ``origin`` is the flash word address the program was compiled for;
+    all absolute references inside ``words`` assume that placement.
+    """
+
+    name: str
+    source: str
+    origin: int
+    words: List[int]
+    items: List[Union[Instruction, DataWord]]
+    symbols: SymbolList
+
+    @property
+    def size_words(self) -> int:
+        return len(self.words)
+
+    @property
+    def size_bytes(self) -> int:
+        return 2 * len(self.words)
+
+    @property
+    def entry(self) -> int:
+        return self.symbols.entry
+
+    @property
+    def instructions(self) -> List[Instruction]:
+        return [item for item in self.items if isinstance(item, Instruction)]
+
+
+def from_asm(name: str, source: str, assembled: AsmProgram) -> Program:
+    """Wrap an :class:`AsmProgram` into a :class:`Program`."""
+    symbols = SymbolList(
+        labels=dict(assembled.labels),
+        data_symbols=dict(assembled.bss_symbols),
+        heap_size=assembled.heap_size,
+        entry=assembled.entry,
+    )
+    return Program(name=name, source=source, origin=assembled.origin,
+                   words=list(assembled.words), items=list(assembled.items),
+                   symbols=symbols)

@@ -1,0 +1,32 @@
+"""The compiler-emitted symbol list.
+
+SenSmart's rewriter consumes not only the binary but also the memory-
+usage information the compiler produces (paper Section IV-A: "the base
+station can collect the whole-program characteristics such as the heap
+usage information from the symbol list generated in compiling").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class SymbolList:
+    """Whole-program memory-usage facts extracted at compile time."""
+
+    #: flash word address of each label.
+    labels: Dict[str, int] = field(default_factory=dict)
+    #: data address of each ``.bss`` reservation.
+    data_symbols: Dict[str, int] = field(default_factory=dict)
+    #: total bytes of statically allocated data (the task's heap area).
+    heap_size: int = 0
+    #: flash word address execution starts at.
+    entry: int = 0
+
+    def label(self, name: str) -> int:
+        return self.labels[name]
+
+    def data_address(self, name: str) -> int:
+        return self.data_symbols[name]

@@ -1,0 +1,19 @@
+"""The paper's benchmark programs, written in AVR assembly.
+
+* :mod:`.kernelbench` — the seven kernel benchmarks used in Section V-C
+  (am, amplitude, crc, eventchain, lfsr, readadc, timer), originally
+  from the t-kernel evaluation.
+* :mod:`.periodic` — the PeriodicTask program of Section V-C.
+* :mod:`.bintree` — the sense-and-send binary-tree workload of
+  Section V-D.
+"""
+
+from .bintree import feeder_source, search_task_source
+from .kernelbench import KERNEL_BENCHMARKS, kernel_benchmark_source
+from .periodic import periodic_native_source, periodic_sensmart_source
+
+__all__ = [
+    "KERNEL_BENCHMARKS", "kernel_benchmark_source",
+    "periodic_native_source", "periodic_sensmart_source",
+    "feeder_source", "search_task_source",
+]

@@ -1,0 +1,83 @@
+"""Dynamic-allocation emulation module (paper Section III-A).
+
+SenSmart assumes "the application code does not use dynamic memory
+allocation. ... For those applications that do, it is not difficult to
+add a specific allocation module, which claims a chunk of memory and
+re-allocates parts of it upon requests, to emulate the dynamic memory
+function.  Some versions of TinyOS already contain such a module."
+
+This is that module: an assembly library a program pastes in.  It
+claims a ``.bss`` pool at compile time and serves requests from it with
+a bump allocator plus a reset, which is exactly the TinyOS
+``StackAlloc``-style discipline (allocate during a transaction, free
+everything at once).
+
+ABI (call-clobbered: r18-r21):
+
+* ``alloc_init``  — reset the pool (also frees everything).
+* ``alloc``       — in: r17:r16 = size; out: r25:r24 = block address,
+  or 0 when the pool is exhausted.
+* ``alloc_mark``  — out: r25:r24 = current watermark (opaque).
+* ``alloc_release`` — in: r17:r16 = watermark; frees everything
+  allocated after the matching ``alloc_mark``.
+"""
+
+from __future__ import annotations
+
+
+def allocator_library(pool_name: str = "alloc_pool",
+                      pool_bytes: int = 256) -> str:
+    """The library text: ``.bss`` reservations plus the four routines.
+
+    Paste at the end of a program (routines are ``CALL``-ed).  The pool
+    pointer lives in the first two pool bytes; blocks start after it.
+    """
+    if pool_bytes < 8:
+        raise ValueError("pool must be at least 8 bytes")
+    return f"""
+; ---- dynamic-allocation emulation module (Section III-A) ----
+.bss {pool_name}, {pool_bytes}
+.equ ALLOC_POOL = {pool_name}
+.equ ALLOC_START = {pool_name} + 2
+.equ ALLOC_END = {pool_name} + {pool_bytes}
+
+alloc_init:
+    ldi r18, lo8(ALLOC_START)
+    sts ALLOC_POOL, r18
+    ldi r18, hi8(ALLOC_START)
+    sts ALLOC_POOL + 1, r18
+    ret
+
+alloc:
+    ; r25:r24 = current break
+    lds r24, ALLOC_POOL
+    lds r25, ALLOC_POOL + 1
+    ; r19:r18 = break + size
+    movw r18, r24
+    add r18, r16
+    adc r19, r17
+    ; exhausted when new break > ALLOC_END
+    ldi r20, lo8(ALLOC_END)
+    ldi r21, hi8(ALLOC_END)
+    cp  r20, r18
+    cpc r21, r19
+    brsh alloc_ok
+    ldi r24, 0              ; NULL
+    ldi r25, 0
+    ret
+alloc_ok:
+    sts ALLOC_POOL, r18
+    sts ALLOC_POOL + 1, r19
+    ret
+
+alloc_mark:
+    lds r24, ALLOC_POOL
+    lds r25, ALLOC_POOL + 1
+    ret
+
+alloc_release:
+    sts ALLOC_POOL, r16
+    sts ALLOC_POOL + 1, r17
+    ret
+; ---- end allocation module ----
+"""

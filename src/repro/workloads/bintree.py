@@ -1,0 +1,292 @@
+"""Sense-and-send binary-tree workload (paper Section V-D, Figures 7-8).
+
+"The data feeding task periodically stores randomly generated incoming
+data onto the heap to form six binary trees, and then the processing
+tasks are activated to recursively search randomly selected binary
+trees. ... Each level of recursion adds 15 bytes to the stack."
+
+SenSmart isolates task memory, so in this reproduction each search task
+keeps its own tree of the incoming data (each processing task maintains
+its private view of the feed), while the feeder task owns the full
+six-tree store; the heap/stack pressure mechanics the figures measure —
+heap growing with tree size, recursion depth growing with tree height,
+per-level cost of 15 bytes — are preserved exactly.
+
+Tree node layout (6 bytes): ``key(2) | left(2) | right(2)``; null
+pointers are 0.  Keys come from the shared 16-bit Galois LFSR, so
+shapes and heights vary with the data sequence as in the paper.
+
+Memory maps (``meta`` block): ``count(2) | root(2) | hits(2)``.
+"""
+
+from __future__ import annotations
+
+from .asmlib import arm_virtual_timer, lfsr_step
+
+NODE_BYTES = 6
+
+#: Registers pushed by each recursion level.  Together with the 2-byte
+#: return address this makes 15 bytes per level, the paper's figure.
+_FRAME_REGS = (2, 3, 4, 5, 6, 7, 8, 9, 10, 22, 23, 30, 31)
+
+
+def _push_frame() -> str:
+    return "".join(f"    push r{reg}\n" for reg in _FRAME_REGS)
+
+
+def _pop_frame() -> str:
+    return "".join(f"    pop r{reg}\n" for reg in reversed(_FRAME_REGS))
+
+
+def _insert_routine() -> str:
+    """Iterative BST insert with a 16-bit node counter.
+
+    In: key in r17:r16.  Uses the ``tree`` array as a bump allocator;
+    ``meta+0/1`` node count, ``meta+2/3`` root pointer.  Clobbers
+    r0-r5, r18/r19, r22/r23, X, Z.
+    """
+    return f"""
+insert:
+    ; node_address = tree + count * {NODE_BYTES}  (16-bit count)
+    lds r18, meta
+    lds r19, meta + 1
+    movw r26, r18           ; X = count
+    add r26, r26
+    adc r27, r27            ; X = count * 2
+    movw r4, r26
+    add r26, r26
+    adc r27, r27            ; X = count * 4
+    add r26, r4
+    adc r27, r5             ; X = count * 6
+    ldi r22, lo8(tree)
+    ldi r23, hi8(tree)
+    add r26, r22
+    adc r27, r23
+    movw r2, r26            ; r3:r2 = new node address
+    ; write the node: key, left = 0, right = 0
+    st X+, r16
+    st X+, r17
+    ldi r22, 0
+    st X+, r22
+    st X+, r22
+    st X+, r22
+    st X+, r22
+    ; count += 1
+    subi r18, 0xFF          ; 16-bit increment
+    sbci r19, 0xFF
+    sts meta, r18
+    sts meta + 1, r19
+    ; first node becomes the root
+    mov r22, r18
+    subi r22, 1
+    or r22, r19
+    brne walk_from_root
+    sts meta + 2, r2
+    sts meta + 3, r3
+    ret
+walk_from_root:
+    lds r30, meta + 2
+    lds r31, meta + 3
+walk:
+    ldd r22, Z+0            ; node key
+    ldd r23, Z+1
+    cp  r16, r22
+    cpc r17, r23
+    brlo go_left
+    ldd r18, Z+4            ; right child
+    ldd r19, Z+5
+    mov r22, r18
+    or  r22, r19
+    breq hang_right
+    movw r30, r18
+    rjmp walk
+go_left:
+    ldd r18, Z+2            ; left child
+    ldd r19, Z+3
+    mov r22, r18
+    or  r22, r19
+    breq hang_left
+    movw r30, r18
+    rjmp walk
+hang_right:
+    std Z+4, r2
+    std Z+5, r3
+    ret
+hang_left:
+    std Z+2, r2
+    std Z+3, r3
+    ret
+"""
+
+
+def _search_routine() -> str:
+    """Recursive BST search: Z = node (0 ends), key in r17:r16.
+
+    Each level pushes 13 registers + the 2-byte return address =
+    15 bytes.  Hits increment ``meta + 4``.
+    """
+    return f"""
+search:
+{_push_frame()}
+    mov r22, r30
+    or  r22, r31
+    breq search_done        ; null: key absent at this depth
+    ldd r22, Z+0
+    ldd r23, Z+1
+    cp  r16, r22
+    cpc r17, r23
+    breq search_hit
+    brlo search_left
+    ldd r2, Z+4             ; descend right
+    ldd r3, Z+5
+    movw r30, r2
+    call search
+    rjmp search_done
+search_left:
+    ldd r2, Z+2             ; descend left
+    ldd r3, Z+3
+    movw r30, r2
+    call search
+    rjmp search_done
+search_hit:
+    lds r22, meta + 4
+    inc r22
+    sts meta + 4, r22
+search_done:
+{_pop_frame()}
+    ret
+"""
+
+
+def search_task_source(nodes: int = 40, searches: int = 50,
+                       period_ticks: int = 1024,
+                       seed: int = 0xACE1) -> str:
+    """A processing task: build a random tree, then periodically search.
+
+    *nodes* is the tree size (heap = ``6 * nodes + 6`` bytes); random
+    search keys drive recursion to the tree height each round.
+    """
+    if not 1 <= nodes <= 250:
+        raise ValueError("nodes must be in 1..250")
+    return f"""
+; search task: {nodes}-node tree, {searches} periodic searches
+.bss tree, {NODE_BYTES * nodes}
+.bss meta, 6                 ; count(2) root(2) hits(2)
+main:
+    ldi r24, lo8({seed})
+    ldi r25, hi8({seed})
+    ldi r20, {nodes}
+build_loop:
+{lfsr_step("b1")}
+{lfsr_step("b2")}
+    movw r16, r24
+    call insert
+    dec r20
+    brne build_loop
+{arm_virtual_timer(period_ticks)}
+    ldi r20, lo8({searches})
+    ldi r21, hi8({searches})
+search_round:
+    sleep
+{lfsr_step("s1")}
+    movw r16, r24
+    lds r30, meta + 2
+    lds r31, meta + 3
+    call search
+    subi r20, 1
+    sbci r21, 0
+    mov r18, r20
+    or r18, r21
+    brne search_round
+    break
+
+{_insert_routine()}
+{_search_routine()}
+"""
+
+
+def feeder_source(nodes_per_tree: int = 40, trees: int = 6,
+                  updates: int = 100, period_ticks: int = 512,
+                  seed: int = 0xBEEF) -> str:
+    """The data-feeding task: fills *trees* stores, then updates keys.
+
+    Its heap is the dominant consumer (``6 * trees * nodes`` bytes) and
+    grows with the x-axis of Figure 7; its stack stays tiny (iterative
+    inserts only), making it the natural stack donor.
+    """
+    total_nodes = nodes_per_tree * trees
+    if not 1 <= nodes_per_tree <= 250:
+        raise ValueError("nodes_per_tree must be in 1..250")
+    if not 1 <= trees <= 8:
+        raise ValueError("trees must be in 1..8")
+    return f"""
+; feeder: {trees} trees x {nodes_per_tree} nodes, {updates} updates
+.bss tree, {NODE_BYTES * total_nodes}
+.bss meta, 6
+main:
+    ldi r24, lo8({seed})
+    ldi r25, hi8({seed})
+    ldi r20, lo8({total_nodes})
+    ldi r21, hi8({total_nodes})
+fill_loop:
+{lfsr_step("f1")}
+{lfsr_step("f2")}
+    movw r16, r24
+    call insert
+    subi r20, 1
+    sbci r21, 0
+    mov r18, r20
+    or r18, r21
+    brne fill_loop
+{arm_virtual_timer(period_ticks)}
+    ldi r20, lo8({updates})
+    ldi r21, hi8({updates})
+update_round:
+    sleep
+    ; overwrite a pseudo-random node's key in place (fresh sensor data)
+{lfsr_step("u1")}
+    mov r18, r24            ; tree index = r24 mod trees
+mod_tree:
+    cpi r18, {trees}
+    brlo tree_ok
+    subi r18, {trees}
+    rjmp mod_tree
+tree_ok:
+    mov r19, r25            ; node index = r25 mod nodes_per_tree
+mod_idx:
+    cpi r19, {nodes_per_tree}
+    brlo idx_ok
+    subi r19, {nodes_per_tree}
+    rjmp mod_idx
+idx_ok:
+    ; X = tree + (tree_index * nodes_per_tree + node_index) * 6
+    ldi r22, {nodes_per_tree}
+    mul r18, r22
+    movw r26, r0
+    add r26, r19
+    ldi r22, 0
+    adc r27, r22
+    movw r2, r26
+    add r26, r26
+    adc r27, r27
+    add r26, r26
+    adc r27, r27            ; index * 4
+    add r26, r2
+    adc r27, r3
+    add r26, r2
+    adc r27, r3             ; index * 6
+    ldi r22, lo8(tree)
+    ldi r23, hi8(tree)
+    add r26, r22
+    adc r27, r23
+    st X+, r24
+    st X, r25
+    subi r20, 1
+    sbci r21, 0
+    mov r18, r20
+    or r18, r21
+    brne update_round
+    break
+
+{_insert_routine()}
+"""

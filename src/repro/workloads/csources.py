@@ -1,0 +1,145 @@
+"""Benchmark workloads written in TinyC (compiled, not hand-written).
+
+The paper's programs come out of a compiler, whose regular code shapes
+are what make SenSmart's trampoline merging effective.  These TinyC
+versions of the kernel benchmarks let experiments measure naturalization
+on *compiled* code: larger images, conventional register usage,
+stack-frame locals, and recurring instruction patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..cc import compile_c_to_asm
+
+CRC_C = """
+u8 buf[32];
+u16 result;
+
+u16 crc16(u8 count, u16 rounds) {
+    u16 crc;
+    u16 r;
+    u8 i;
+    u8 bit;
+    for (r = 0; r < rounds; r = r + 1) {
+        crc = 0xFFFF;
+        for (i = 0; i < count; i = i + 1) {
+            crc = crc ^ (buf[i] << 8);
+            for (bit = 0; bit < 8; bit = bit + 1) {
+                if (crc & 0x8000) {
+                    crc = (crc << 1) ^ 0x1021;
+                } else {
+                    crc = crc << 1;
+                }
+            }
+        }
+    }
+    return crc;
+}
+
+void main() {
+    u8 i;
+    u8 value;
+    value = 0xA5;
+    for (i = 0; i < 32; i = i + 1) {
+        buf[i] = value;
+        value = value - 0x33;
+    }
+    result = crc16(32, %(rounds)d);
+    halt();
+}
+"""
+
+LFSR_C = """
+u16 out;
+
+void main() {
+    u16 lfsr;
+    u16 i;
+    lfsr = 0xACE1;
+    for (i = 0; i < %(steps)d; i = i + 1) {
+        if (lfsr & 1) {
+            lfsr = (lfsr >> 1) ^ 0xB400;
+        } else {
+            lfsr = lfsr >> 1;
+        }
+    }
+    out = lfsr;
+    halt();
+}
+"""
+
+SEARCH_C = """
+// Binary-tree build + recursive search, the Figure 7 workload in C.
+u16 keys[%(nodes)d];
+u16 lefts[%(nodes)d];
+u16 rights[%(nodes)d];
+u16 count;
+u16 root;
+u16 hits;
+u16 lfsr;
+
+u16 rand16() {
+    if (lfsr & 1) { lfsr = (lfsr >> 1) ^ 0xB400; }
+    else { lfsr = lfsr >> 1; }
+    return lfsr;
+}
+
+void insert(u16 key) {
+    u16 node;
+    u16 slot;
+    node = count;
+    keys[node] = key;
+    lefts[node] = 0xFFFF;
+    rights[node] = 0xFFFF;
+    count = count + 1;
+    if (node == 0) { root = 0; return; }
+    slot = root;
+    while (1) {
+        if (key < keys[slot]) {
+            if (lefts[slot] == 0xFFFF) { lefts[slot] = node; return; }
+            slot = lefts[slot];
+        } else {
+            if (rights[slot] == 0xFFFF) { rights[slot] = node; return; }
+            slot = rights[slot];
+        }
+    }
+}
+
+void search(u16 node, u16 key) {
+    if (node == 0xFFFF) { return; }
+    if (keys[node] == key) { hits = hits + 1; return; }
+    if (key < keys[node]) { search(lefts[node], key); }
+    else { search(rights[node], key); }
+}
+
+void main() {
+    u16 i;
+    lfsr = 0xACE1;
+    for (i = 0; i < %(nodes)d; i = i + 1) { insert(rand16()); }
+    for (i = 0; i < %(searches)d; i = i + 1) { search(root, rand16()); }
+    halt();
+}
+"""
+
+
+def crc_c_source(rounds: int = 4) -> str:
+    return compile_c_to_asm(CRC_C % {"rounds": rounds})
+
+
+def lfsr_c_source(steps: int = 4096) -> str:
+    return compile_c_to_asm(LFSR_C % {"steps": steps})
+
+
+def search_c_source(nodes: int = 40, searches: int = 30) -> str:
+    return compile_c_to_asm(SEARCH_C % {"nodes": nodes,
+                                        "searches": searches})
+
+
+#: Compiled workloads by name (for experiments over compiled code).
+C_WORKLOADS: Dict[str, Callable[..., str]] = {
+    "crc_c": crc_c_source,
+    "lfsr_c": lfsr_c_source,
+    "search_c": search_c_source,
+}

@@ -1,0 +1,367 @@
+"""The seven kernel benchmark programs (paper Section V-C, Figure 4/5).
+
+These cover "typical operations in sensornet applications" and are the
+programs the t-kernel evaluation introduced: active-message assembly
+(``am``), ADC amplitude tracking (``amplitude``), CRC-16 (``crc``),
+event-handler dispatch chains (``eventchain``), pseudo-random generation
+(``lfsr``), raw ADC sampling (``readadc``) and timer polling
+(``timer``).  Every program is a generator function parameterized by an
+iteration count so execution length can be scaled, and each leaves a
+verifiable result in its heap so tests can check end-to-end correctness
+both natively and under SenSmart.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..avr import ioports
+from .asmlib import adc_sample, lfsr_step, radio_send_byte
+
+PAYLOAD_LENGTH = 29
+AM_HEADER = 7  # dest(2) + type(1) + group(1) + length(1) + crc slot(2)
+
+
+def am_source(packets: int = 4) -> str:
+    """Assemble and transmit TinyOS-style active-message packets.
+
+    Builds a 36-byte packet in the heap (header + 29-byte payload),
+    computes an additive checksum, and clocks it out through the radio
+    data register with ready-flag polling.
+    """
+    total = AM_HEADER + PAYLOAD_LENGTH
+    return f"""
+; am: active-message assembly and transmission
+.equ PACKETS = {packets}
+.bss pkt, {total}
+.bss sent, 2
+main:
+    ldi r20, PACKETS
+    ldi r22, 0              ; sequence number
+packet_loop:
+    ; --- header ---
+    ldi r26, lo8(pkt)
+    ldi r27, hi8(pkt)
+    ldi r16, 0xFF           ; dest = broadcast
+    st X+, r16
+    st X+, r16
+    ldi r16, 0x06           ; AM type
+    st X+, r16
+    ldi r16, 0x7D           ; group
+    st X+, r16
+    ldi r16, {PAYLOAD_LENGTH}
+    st X+, r16
+    ldi r16, 0
+    st X+, r16              ; checksum slot (lo)
+    st X+, r16              ; checksum slot (hi)
+    ; --- payload ---
+    ldi r17, {PAYLOAD_LENGTH}
+    mov r16, r22
+payload_loop:
+    st X+, r16
+    inc r16
+    dec r17
+    brne payload_loop
+    ; --- checksum over payload ---
+    ldi r26, lo8(pkt + {AM_HEADER})
+    ldi r27, hi8(pkt + {AM_HEADER})
+    ldi r17, {PAYLOAD_LENGTH}
+    ldi r24, 0
+    ldi r25, 0
+sum_loop:
+    ld r16, X+
+    add r24, r16
+    ldi r16, 0
+    adc r25, r16
+    dec r17
+    brne sum_loop
+    sts pkt + 5, r24
+    sts pkt + 6, r25
+    ; --- transmit ---
+    ldi r26, lo8(pkt)
+    ldi r27, hi8(pkt)
+    ldi r17, {total}
+send_loop:
+    ld r18, X+
+{radio_send_byte("r18", "tx")}
+    dec r17
+    brne send_loop
+    lds r16, sent
+    inc r16
+    sts sent, r16
+    inc r22
+    dec r20
+    brne packet_loop
+    break
+"""
+
+
+def amplitude_source(samples: int = 16) -> str:
+    """Sample the ADC and compute the signal amplitude (max - min)."""
+    return f"""
+; amplitude: ADC amplitude tracking
+.equ SAMPLES = {samples}
+.bss amp, 2
+main:
+    ldi r20, SAMPLES
+    ldi r24, 0xFF           ; min = 0x03FF
+    ldi r25, 0x03
+    ldi r26, 0              ; max = 0
+    ldi r27, 0
+sample_loop:
+{adc_sample("conv")}
+    ; min = min(min, sample r19:r18)
+    cp  r18, r24
+    cpc r19, r25
+    brsh not_smaller
+    mov r24, r18
+    mov r25, r19
+not_smaller:
+    ; max = max(max, sample)
+    cp  r26, r18
+    cpc r27, r19
+    brsh not_larger
+    mov r26, r18
+    mov r27, r19
+not_larger:
+    dec r20
+    brne sample_loop
+    sub r26, r24
+    sbc r27, r25
+    sts amp, r26
+    sts amp + 1, r27
+    break
+"""
+
+
+def crc_source(rounds: int = 4) -> str:
+    """CRC-16-CCITT over a 32-byte buffer, bitwise."""
+    return f"""
+; crc: CRC-16-CCITT of a 32-byte buffer
+.equ ROUNDS = {rounds}
+.bss buf, 32
+.bss result, 2
+main:
+    ; fill the buffer with a recognizable pattern
+    ldi r26, lo8(buf)
+    ldi r27, hi8(buf)
+    ldi r16, 32
+    ldi r17, 0xA5
+fill:
+    st X+, r17
+    subi r17, 0x33
+    dec r16
+    brne fill
+    ldi r20, ROUNDS
+crc_round:
+    ldi r24, 0xFF           ; crc = 0xFFFF
+    ldi r25, 0xFF
+    ldi r26, lo8(buf)
+    ldi r27, hi8(buf)
+    ldi r16, 32
+byte_loop:
+    ld r18, X+
+    eor r25, r18            ; crc ^= byte << 8
+    ldi r17, 8
+bit_loop:
+    lsl r24
+    rol r25                 ; C = old bit 15
+    brcc no_poly
+    ldi r19, 0x21           ; crc ^= 0x1021
+    eor r24, r19
+    ldi r19, 0x10
+    eor r25, r19
+no_poly:
+    dec r17
+    brne bit_loop
+    dec r16
+    brne byte_loop
+    dec r20
+    brne crc_round
+    sts result, r24
+    sts result + 1, r25
+    break
+"""
+
+
+def eventchain_source(rounds: int = 8) -> str:
+    """Event-driven dispatch: handlers invoked through function pointers.
+
+    Handler addresses live in a flash table (read via LPM) and are
+    invoked with ICALL — the split-transaction pattern event-driven
+    sensornet code uses, and the stress case for indirect-branch
+    translation.
+    """
+    return f"""
+; eventchain: function-pointer event dispatch
+.equ ROUNDS = {rounds}
+.bss counters, 4
+main:
+    ldi r20, ROUNDS
+round_loop:
+    ldi r21, 4              ; four events per round
+    ldi r30, lo8(handlers * 2)
+    ldi r31, hi8(handlers * 2)
+event_loop:
+    lpm r24, Z+             ; handler address (word), little-endian
+    lpm r25, Z+
+    push r30                ; dispatcher state survives the call
+    push r31
+    push r21
+    movw r30, r24
+    icall
+    pop r21
+    pop r31
+    pop r30
+    dec r21
+    brne event_loop
+    dec r20
+    brne round_loop
+    break
+
+; Handlers do a realistic slice of work (checksum-style folding over
+; their counter) so dispatch cost amortizes as in event-driven code.
+ev_sense:
+    lds r16, counters + 0
+    inc r16
+    sts counters + 0, r16
+    ldi r17, 60
+ev_sense_work:
+    lsl r16
+    adc r16, r17
+    dec r17
+    brne ev_sense_work
+    ret
+ev_filter:
+    lds r16, counters + 1
+    subi r16, 0xFF          ; += 1
+    sts counters + 1, r16
+    ldi r17, 60
+ev_filter_work:
+    eor r16, r17
+    swap r16
+    dec r17
+    brne ev_filter_work
+    ret
+ev_route:
+    lds r16, counters + 2
+    inc r16
+    sts counters + 2, r16
+    ldi r17, 60
+ev_route_work:
+    add r16, r17
+    ror r16
+    dec r17
+    brne ev_route_work
+    ret
+ev_send:
+    lds r16, counters + 3
+    inc r16
+    sts counters + 3, r16
+    ldi r17, 60
+ev_send_work:
+    sub r16, r17
+    com r16
+    dec r17
+    brne ev_send_work
+    ret
+
+handlers:
+    .dw ev_sense, ev_filter, ev_route, ev_send
+"""
+
+
+def lfsr_source(steps: int = 4096) -> str:
+    """Iterate a 16-bit Galois LFSR (the PRNG motes actually use)."""
+    return f"""
+; lfsr: 16-bit Galois LFSR iterations
+.equ STEPS = {steps}
+.bss out, 2
+main:
+    ldi r24, 0xE1           ; seed 0xACE1
+    ldi r25, 0xAC
+    ldi r26, lo8(STEPS)
+    ldi r27, hi8(STEPS)
+step_loop:
+{lfsr_step("s")}
+    sbiw r26, 1
+    brne step_loop
+    sts out, r24
+    sts out + 1, r25
+    break
+"""
+
+
+def readadc_source(samples: int = 16) -> str:
+    """Raw ADC sampling into a heap ring buffer."""
+    return f"""
+; readadc: ADC sampling loop
+.equ SAMPLES = {samples}
+.bss ring, 16
+.bss taken, 2
+main:
+    ldi r20, SAMPLES
+    ldi r26, lo8(ring)
+    ldi r27, hi8(ring)
+    ldi r21, 16             ; ring slots before wrap
+read_loop:
+{adc_sample("conv")}
+    st X+, r18
+    dec r21
+    brne no_wrap
+    ldi r26, lo8(ring)
+    ldi r27, hi8(ring)
+    ldi r21, 16
+no_wrap:
+    lds r16, taken
+    inc r16
+    sts taken, r16
+    dec r20
+    brne read_loop
+    break
+"""
+
+
+def timer_source(ticks: int = 64) -> str:
+    """Poll Timer0 until a number of ticks elapse, counting transitions."""
+    return f"""
+; timer: Timer0 tick counting by polling
+.equ TICKS = {ticks}
+.bss elapsed, 2
+main:
+    ldi r24, 0              ; ticks counted
+    ldi r25, 0
+    in r16, {ioports.data_to_io(ioports.TCNT0)}     ; previous TCNT0
+poll:
+    in r17, {ioports.data_to_io(ioports.TCNT0)}
+    cp r17, r16
+    breq poll
+    mov r16, r17
+    adiw r24, 1
+    ldi r18, lo8(TICKS)
+    ldi r19, hi8(TICKS)
+    cp  r24, r18
+    cpc r25, r19
+    brlo poll
+    sts elapsed, r24
+    sts elapsed + 1, r25
+    break
+"""
+
+
+#: Benchmark registry: name -> source generator (default parameters
+#: give comparable native run lengths).
+KERNEL_BENCHMARKS: Dict[str, Callable[..., str]] = {
+    "am": am_source,
+    "amplitude": amplitude_source,
+    "crc": crc_source,
+    "eventchain": eventchain_source,
+    "lfsr": lfsr_source,
+    "readadc": readadc_source,
+    "timer": timer_source,
+}
+
+
+def kernel_benchmark_source(name: str, **parameters) -> str:
+    """Source of one kernel benchmark with the given parameters."""
+    return KERNEL_BENCHMARKS[name](**parameters)

@@ -1,0 +1,110 @@
+"""PeriodicTask: periodic events triggering computational tasks.
+
+"We use a PeriodicTask program to emulate the common operating pattern
+of sensornet applications — periodic events triggering computational
+tasks.  The computational tasks in PeriodicTask can be configured to a
+desirable computation size (number of instructions)" (paper Section
+V-C, Figure 6).
+
+Two variants share the same computation core:
+
+* the SenSmart variant arms the kernel's virtual per-task timer and
+  uses ``SLEEP`` (trapped) to wait out each period;
+* the native variant programs the real Timer3 compare interrupt and
+  sleeps on the hardware, re-arming the absolute compare point each
+  round — which is also how it degrades when computation overruns the
+  period, the effect behind the knee in Figure 6(a).
+"""
+
+from __future__ import annotations
+
+from ..avr import ioports
+from .asmlib import arm_virtual_timer, compute_block_mem
+
+DEFAULT_PERIOD_TICKS = 2048  # 2048 ticks * prescaler 8 = ~2.2 ms
+
+
+def periodic_sensmart_source(compute_instructions: int,
+                             activations: int,
+                             period_ticks: int = DEFAULT_PERIOD_TICKS,
+                             ) -> str:
+    """PeriodicTask for SenSmart: virtual timer + trapped SLEEP."""
+    return f"""
+; periodic task: {activations} activations of ~{compute_instructions} instr
+.bss done, 2
+.bss work_scratch, 2
+main:
+{arm_virtual_timer(period_ticks)}
+    ldi r20, lo8({activations})
+    ldi r21, hi8({activations})
+act_loop:
+    sleep
+{compute_block_mem(compute_instructions, "work")}
+    lds r16, done
+    inc r16
+    sts done, r16
+    subi r20, 1
+    sbci r21, 0
+    mov r18, r20
+    or r18, r21
+    brne act_loop
+    break
+"""
+
+
+def periodic_native_source(compute_instructions: int,
+                           activations: int,
+                           period_ticks: int = DEFAULT_PERIOD_TICKS,
+                           ) -> str:
+    """PeriodicTask on bare metal: Timer3 compare interrupt + SLEEP."""
+    return f"""
+; native periodic task: Timer3 compare IRQ wakes SLEEP
+.org {ioports.VECT_TIMER3_COMPA}
+    jmp isr
+
+.org 0x40
+.bss done, 2
+.bss next_cmp, 2
+.bss work_scratch, 2
+main:
+    ; next compare point = now + period
+    lds r16, {ioports.TCNT3L}
+    lds r17, {ioports.TCNT3H}
+    subi r16, lo8(-{period_ticks})
+    sbci r17, hi8(-{period_ticks})
+    sts next_cmp, r16
+    sts next_cmp + 1, r17
+    sts {ioports.OCR3AH}, r17
+    sts {ioports.OCR3AL}, r16
+    ldi r16, 1
+    sts {ioports.TCCR3B}, r16      ; enable compare interrupt
+    sei
+    ldi r20, lo8({activations})
+    ldi r21, hi8({activations})
+act_loop:
+    sleep
+    ; re-arm: next_cmp += period
+    lds r16, next_cmp
+    lds r17, next_cmp + 1
+    subi r16, lo8(-{period_ticks})
+    sbci r17, hi8(-{period_ticks})
+    sts next_cmp, r16
+    sts next_cmp + 1, r17
+    sts {ioports.OCR3AH}, r17
+    sts {ioports.OCR3AL}, r16
+    ldi r16, 1
+    sts {ioports.TCCR3B}, r16
+{compute_block_mem(compute_instructions, "work")}
+    lds r16, done
+    inc r16
+    sts done, r16
+    subi r20, 1
+    sbci r21, 0
+    mov r18, r20
+    or r18, r21
+    brne act_loop
+    break
+
+isr:
+    reti
+"""

@@ -1,0 +1,123 @@
+"""The dynamic-allocation emulation module (Section III-A)."""
+
+from __future__ import annotations
+
+from repro.baselines.native import run_native
+from repro.kernel import SensorNode
+from repro.workloads.alloclib import allocator_library
+
+
+def _program(body: str, pool_bytes: int = 64) -> str:
+    return f"""
+.bss results, 8
+main:
+    call alloc_init
+{body}
+    break
+{allocator_library(pool_bytes=pool_bytes)}
+"""
+
+
+def test_blocks_are_distinct_and_writable():
+    source = _program("""
+    ldi r16, 4
+    ldi r17, 0
+    call alloc              ; block A
+    sts results, r24
+    sts results + 1, r25
+    movw r26, r24
+    ldi r18, 0xAA
+    st X, r18               ; write into A
+    ldi r16, 4
+    ldi r17, 0
+    call alloc              ; block B
+    sts results + 2, r24
+    sts results + 3, r25
+    movw r26, r24
+    ldi r18, 0xBB
+    st X, r18
+    ; read A back: must still be 0xAA
+    lds r26, results
+    lds r27, results + 1
+    ld r20, X
+""")
+    result = run_native(source)
+    assert result.finished
+    a = result.heap_byte(0) | (result.heap_byte(1) << 8)
+    b = result.heap_byte(2) | (result.heap_byte(3) << 8)
+    assert a != 0 and b != 0
+    assert b == a + 4  # bump allocation
+    assert result.cpu.r[20] == 0xAA
+
+
+def test_exhaustion_returns_null():
+    source = _program("""
+    ldi r16, 40
+    ldi r17, 0
+    call alloc              ; fits (pool 64 - 2-byte header)
+    sts results, r24
+    ldi r16, 40
+    ldi r17, 0
+    call alloc              ; cannot fit
+    sts results + 2, r24
+    sts results + 3, r25
+""", pool_bytes=64)
+    result = run_native(source)
+    assert result.finished
+    assert result.heap_byte(0) != 0
+    assert result.heap_byte(2) == 0 and result.heap_byte(3) == 0
+
+
+def test_mark_release_frees_in_lifo_order():
+    source = _program("""
+    call alloc_mark
+    movw r2, r24            ; save watermark
+    ldi r16, 16
+    ldi r17, 0
+    call alloc
+    sts results, r24        ; first block
+    movw r16, r2
+    call alloc_release      ; roll back
+    ldi r16, 16
+    ldi r17, 0
+    call alloc
+    sts results + 2, r24    ; reuses the same space
+""")
+    result = run_native(source)
+    assert result.finished
+    assert result.heap_byte(0) == result.heap_byte(2)
+
+
+def test_allocator_works_under_sensmart():
+    source = _program("""
+    ldi r16, 8
+    ldi r17, 0
+    call alloc
+    movw r26, r24
+    ldi r18, 0x77
+    st X+, r18
+    ld r20, -X
+""")
+    node = SensorNode.from_sources([("alloc", source)])
+    node.run(max_instructions=1_000_000)
+    assert node.finished
+    task = node.task_named("alloc")
+    assert task.exit_reason == "exit"
+    assert task.context.regs[20] == 0x77
+
+
+def test_init_resets_pool():
+    source = _program("""
+    ldi r16, 16
+    ldi r17, 0
+    call alloc
+    sts results, r24
+    call alloc_init
+    ldi r16, 16
+    ldi r17, 0
+    call alloc
+    sts results + 2, r24
+""")
+    result = run_native(source)
+    assert result.finished
+    assert result.heap_byte(0) == result.heap_byte(2)

@@ -1,0 +1,198 @@
+"""Assembler: directives, labels, expressions, aliases, diagnostics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.avr import assemble, decode
+from repro.avr import ioports
+from repro.errors import AssemblerError
+
+
+def test_labels_and_branches():
+    program = assemble("""
+main:
+    ldi r16, 3
+loop:
+    dec r16
+    brne loop
+    rjmp done
+done:
+    break
+""")
+    assert program.labels["main"] == 0
+    assert program.labels["loop"] == 1
+    # BRNE at address 2 targets 1 -> offset -2 words.
+    brne = program.instructions[2]
+    assert brne.mnemonic == "BRBC"
+    assert brne.operands == (1, -2)
+
+
+def test_equ_expressions():
+    program = assemble("""
+.equ BASE = 0x100
+.equ SIZE = 4 * 8
+.equ TOP = BASE + SIZE - 1
+main:
+    ldi r16, lo8(TOP)
+    ldi r17, hi8(TOP)
+    break
+""")
+    assert program.instructions[0].operands == (16, 0x1F)
+    assert program.instructions[1].operands == (17, 0x01)
+
+
+def test_bss_allocates_from_ram_start():
+    program = assemble("""
+.bss first, 10
+.bss second, 6
+main:
+    break
+""")
+    assert program.bss_symbols["first"] == ioports.RAM_START
+    assert program.bss_symbols["second"] == ioports.RAM_START + 10
+    assert program.heap_size == 16
+
+
+def test_bss_overflow_detected():
+    with pytest.raises(AssemblerError):
+        assemble("""
+.bss huge, 5000
+main:
+    break
+""")
+
+
+def test_org_pads_with_nops():
+    program = assemble("""
+main:
+    nop
+.org 4
+later:
+    break
+""")
+    assert program.labels["later"] == 4
+    assert len(program.words) == 5
+    assert program.words[1:4] == [0, 0, 0]
+
+
+def test_dw_and_db_data():
+    program = assemble("""
+main:
+    break
+words:
+    .dw 0x1234, 0xABCD
+bytes:
+    .db 1, 2, 3
+""")
+    assert program.words[1:3] == [0x1234, 0xABCD]
+    # .db packs little-endian into words, zero-padded.
+    assert program.words[3:5] == [0x0201, 0x0003]
+
+
+def test_dw_accepts_label_references():
+    program = assemble("""
+main:
+    break
+table:
+    .dw main, table
+""")
+    assert program.words[1] == 0
+    assert program.words[2] == 1
+
+
+def test_sreg_aliases():
+    program = assemble("""
+main:
+    sei
+    cli
+    sec
+    break
+""")
+    mnemonics = [(i.mnemonic, i.operands) for i in program.instructions[:3]]
+    assert mnemonics == [("BSET", (7,)), ("BCLR", (7,)), ("BSET", (0,))]
+
+
+def test_plain_y_z_loads_become_displacement_zero():
+    program = assemble("""
+main:
+    ld r4, Y
+    st Z, r5
+    break
+""")
+    assert program.instructions[0].mnemonic == "LDD"
+    assert program.instructions[0].operands == (4, "Y", 0)
+    assert program.instructions[1].mnemonic == "STD"
+    assert program.instructions[1].operands == (5, "Z", 0)
+
+
+def test_case_insensitive_mnemonics_and_registers():
+    program = assemble("""
+MAIN:
+    LDI R16, 1
+    Break
+""")
+    assert program.instructions[0].operands == (16, 1)
+
+
+def test_comments_and_blank_lines_ignored():
+    program = assemble("""
+; leading comment
+
+main:          ; trailing comment
+    nop        ; another
+    break
+""")
+    assert len(program.instructions) == 2
+
+
+def test_unknown_mnemonic_reports_line():
+    with pytest.raises(AssemblerError) as excinfo:
+        assemble("main:\n    frobnicate r1\n")
+    assert "line 2" in str(excinfo.value)
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("a:\n    nop\na:\n    break\n")
+
+
+def test_branch_out_of_range_rejected():
+    source = "main:\n    breq far\n" + "    nop\n" * 100 + "far:\n    break\n"
+    with pytest.raises(AssemblerError):
+        assemble(source)
+
+
+def test_undefined_symbol_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("main:\n    ldi r16, MISSING\n    break\n")
+
+
+def test_entry_defaults_to_main_label():
+    program = assemble("""
+helper:
+    nop
+main:
+    break
+""")
+    assert program.entry == program.labels["main"] == 1
+
+
+def test_words_decode_back_to_source_instructions():
+    program = assemble("""
+main:
+    ldi r16, 0x42
+    push r16
+    call sub
+    pop r16
+    break
+sub:
+    ret
+""")
+    # Every emitted instruction decodes back identically from the image.
+    for instruction in program.instructions:
+        words = program.words[instruction.address:instruction.address + 2]
+        decoded = decode(words[0], words[1] if len(words) > 1 else None,
+                         instruction.address)
+        assert decoded.mnemonic == instruction.mnemonic
+        assert decoded.operands == instruction.operands

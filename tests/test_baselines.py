@@ -1,0 +1,241 @@
+"""Baseline systems: t-kernel model, fixed-stack OS, Maté VM."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.fixedstack import (FixedStackOS, ThreadSpec,
+                                        max_schedulable_threads)
+from repro.baselines.mate import MateVm, Op, assemble_bytecode, \
+    periodic_task_bytecode
+from repro.baselines.native import run_native
+from repro.baselines.tkernel import TkernelRunner, tk_classify, \
+    tkernel_inflation_bytes
+from repro.avr import Instruction
+from repro.kernel import SensorNode
+from repro.rewriter import PatchKind
+from repro.toolchain import link_image
+from repro.workloads.bintree import search_task_source
+from repro.workloads.kernelbench import KERNEL_BENCHMARKS
+from repro.workloads.periodic import periodic_sensmart_source
+
+
+# -- t-kernel ------------------------------------------------------------------
+
+def test_tk_classify_is_asymmetric():
+    # Writes patched, reads native.
+    assert tk_classify(Instruction("ST", (0, "X+"), 0)) is \
+        PatchKind.MEM_INDIRECT
+    assert tk_classify(Instruction("LD", (0, "X+"), 0)) is PatchKind.NONE
+    assert tk_classify(Instruction("LDS", (2, 0x200), 0)) is PatchKind.NONE
+    assert tk_classify(Instruction("STS", (2, 0x200), 0)) is \
+        PatchKind.MEM_DIRECT
+    assert tk_classify(Instruction("POP", (1,), 0)) is PatchKind.NONE
+    assert tk_classify(Instruction("IN", (16, 0x3D), 0)) is PatchKind.NONE
+
+
+def test_tk_patches_forward_branches_too():
+    assert tk_classify(Instruction("RJMP", (5,), 10)) is \
+        PatchKind.BRANCH_BACKWARD
+    assert tk_classify(Instruction("BRBC", (1, 3), 10)) is \
+        PatchKind.BRANCH_BACKWARD
+
+
+@pytest.mark.parametrize("name", sorted(KERNEL_BENCHMARKS))
+def test_tkernel_runs_benchmarks_correctly(name):
+    source = KERNEL_BENCHMARKS[name]()
+    native = run_native(source)
+    result = TkernelRunner(source).run()
+    assert result.finished
+    if name == "crc":
+        assert result.heap_byte(32) == native.heap_byte(32)
+        assert result.heap_byte(33) == native.heap_byte(33)
+    if name == "lfsr":
+        assert result.heap_byte(0) == native.heap_byte(0)
+    if name == "eventchain":
+        assert [result.heap_byte(i) for i in range(4)] == \
+            [native.heap_byte(i) for i in range(4)]
+
+
+def test_tkernel_lighter_than_sensmart_at_runtime():
+    """Asymmetric protection is cheaper than full translation (Fig. 5)."""
+    source = KERNEL_BENCHMARKS["crc"](rounds=2)
+    tk = TkernelRunner(source).run()
+    node = SensorNode.from_sources([("crc", source)])
+    node.run(max_instructions=10_000_000)
+    assert tk.exec_cycles < node.cpu.cycles
+
+
+def test_tkernel_warmup_is_substantial():
+    """~1 second of on-node rewriting before the first run (Fig. 6a)."""
+    result = TkernelRunner(KERNEL_BENCHMARKS["lfsr"]()).run()
+    assert result.warmup_cycles > 5_000_000   # >0.7 s at 7.37 MHz
+    assert result.warmup_cycles < 15_000_000  # but not many seconds
+
+
+def test_tkernel_inflation_exceeds_sensmart():
+    """Figure 4: per-site inline expansion beats merged trampolines."""
+    for name in KERNEL_BENCHMARKS:
+        source = KERNEL_BENCHMARKS[name]()
+        tk = tkernel_inflation_bytes(source)
+        image = link_image([(name, source)])
+        sensmart_total = image.tasks[0].natural.stats.total_bytes
+        assert tk["naturalized_bytes"] > sensmart_total, name
+
+
+def test_tkernel_blocks_kernel_memory_writes():
+    poke_kernel = """
+main:
+    ldi r26, 0xF0      ; X = 0x10F0, inside the kernel reserve
+    ldi r27, 0x10
+    ldi r16, 0x66
+    st X, r16
+    break
+"""
+    runner = TkernelRunner(poke_kernel)
+    result = runner.run()
+    assert runner.faulted
+    assert not result.finished
+
+
+# -- fixed-stack OS (LiteOS / MANTIS model) ----------------------------------------
+
+def test_fixedstack_threads_complete():
+    specs = [
+        ThreadSpec("crc", KERNEL_BENCHMARKS["crc"](rounds=1), 64),
+        ThreadSpec("lfsr", KERNEL_BENCHMARKS["lfsr"](steps=500), 64),
+    ]
+    result = FixedStackOS(specs, static_data_bytes=500).run(
+        max_cycles=20_000_000)
+    assert result.schedulable
+    assert all(t.done for t in result.threads)
+
+
+def test_fixedstack_detects_overflow_via_canary():
+    spec = ThreadSpec("search",
+                      search_task_source(nodes=60, searches=5),
+                      stack_size=64)  # worst case is ~200: must fail
+    result = FixedStackOS([spec], static_data_bytes=500).run(
+        max_cycles=100_000_000)
+    assert not result.schedulable
+    assert result.overflows == ["search"]
+
+
+def test_fixedstack_worst_case_stack_suffices():
+    spec = ThreadSpec("search",
+                      search_task_source(nodes=60, searches=5),
+                      stack_size=256)
+    result = FixedStackOS([spec], static_data_bytes=500).run(
+        max_cycles=100_000_000)
+    assert result.schedulable
+    assert result.threads[0].done
+
+
+def test_fixedstack_layout_rejects_overcommit():
+    specs = [ThreadSpec(f"s{i}", "main:\n    break\n", 1000)
+             for i in range(8)]
+    result = FixedStackOS(specs, static_data_bytes=2000).run()
+    assert not result.schedulable
+    assert "layout" in result.reason or "budget" in result.reason
+
+
+def test_fixedstack_heaps_do_not_collide():
+    writer = """
+.bss cell, 2
+main:
+    ldi r16, {value}
+    sts cell, r16
+    ldi r17, 100
+spin:
+    dec r17
+    brne spin
+    lds r18, cell
+    break
+"""
+    specs = [ThreadSpec("a", writer.format(value=0xAA), 64),
+             ThreadSpec("b", writer.format(value=0xBB), 64)]
+    os_model = FixedStackOS(specs, static_data_bytes=500,
+                            slice_cycles=100)
+    result = os_model.run(max_cycles=10_000_000)
+    assert result.schedulable
+    # Each thread read back its own value: r18 in its saved registers.
+    values = {t.name: t.regs[18] for t in result.threads}
+    assert values == {"a": 0xAA, "b": 0xBB}
+
+
+def test_fixedstack_max_schedulable_is_memory_bound():
+    def make(i):
+        return ThreadSpec(f"s{i}", "main:\n    break\n", 400)
+    # 4096 bytes of SRAM - 2000 static = 2096 -> 5 threads of 400.
+    count = max_schedulable_threads(make, static_data_bytes=2000,
+                                    limit=10, max_cycles=1_000_000)
+    assert count == 5
+
+
+# -- Maté VM ------------------------------------------------------------------------
+
+def test_mate_arithmetic():
+    program = assemble_bytecode([
+        (Op.PUSHC, 40),
+        (Op.PUSHC, 2),
+        Op.ADD,
+        (Op.STORE, 0),
+        Op.HALT,
+    ])
+    vm = MateVm(program)
+    vm.run()
+    assert vm.halted
+    assert vm.heap[0] == 42
+
+
+def test_mate_loop_and_branch():
+    program = assemble_bytecode([
+        (Op.PUSH16, 10),
+        "loop:",
+        Op.DEC,
+        Op.DUP,
+        (Op.JNZ, "loop"),
+        (Op.STORE, 0),
+        Op.HALT,
+    ])
+    vm = MateVm(program)
+    stats = vm.run()
+    assert vm.heap[0] == 0
+    assert stats.ops_executed == 1 + 3 * 10 + 2  # push, loop body, tail
+
+
+def test_mate_periodic_task_completes():
+    program = periodic_task_bytecode(compute_instructions=100,
+                                     activations=5)
+    vm = MateVm(program)
+    stats = vm.run()
+    assert vm.halted
+    assert vm.heap[1] == 5
+    assert stats.idle_cycles > 0
+
+
+def test_mate_is_order_of_magnitude_slower_than_native():
+    """Figure 6(c): interpretation costs 1-2 orders of magnitude."""
+    compute, activations = 2000, 5
+    native = run_native(
+        periodic_sensmart_source(compute, activations)
+        .replace("sleep", "nop"),  # strip sleeps: compare busy work
+        max_instructions=10_000_000)
+    vm = MateVm(periodic_task_bytecode(compute, activations))
+    stats = vm.run()
+    assert stats.busy_cycles > 10 * native.cycles
+
+
+def test_mate_sense_and_send():
+    program = assemble_bytecode([
+        (Op.SETTIMER, 64),
+        Op.SLEEP,
+        Op.SENSE,
+        (Op.STORE, 2),
+        (Op.LOAD, 2),
+        Op.SENDR,
+        Op.HALT,
+    ])
+    vm = MateVm(program)
+    vm.run()
+    assert len(vm.transmitted) == 1

@@ -1,0 +1,519 @@
+"""TinyC compiler: expressions, control flow, functions, intrinsics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.native import run_native
+from repro.cc import compile_c_to_asm
+from repro.cc.lexer import CompileError
+from repro.kernel import SensorNode
+
+
+def run_c(source: str, max_instructions: int = 5_000_000):
+    asm = compile_c_to_asm(source)
+    result = run_native(asm, max_instructions=max_instructions)
+    assert result.finished, "program did not halt"
+    return result
+
+
+def global_u16(result, offset: int) -> int:
+    return result.heap_byte(offset) | (result.heap_byte(offset + 1) << 8)
+
+
+# -- expressions ----------------------------------------------------------------
+
+@pytest.mark.parametrize("expression,expected", [
+    ("1 + 2", 3),
+    ("10 - 3", 7),
+    ("200 + 200", 400),
+    ("7 * 6", 42),
+    ("300 * 17", (300 * 17) & 0xFFFF),
+    ("0xF0F0 & 0x0FF0", 0x00F0),
+    ("0xF000 | 0x000F", 0xF00F),
+    ("0xFF00 ^ 0x0FF0", 0xF0F0),
+    ("1 << 10", 1024),
+    ("0x8000 >> 15", 1),
+    ("5 < 6", 1),
+    ("6 < 5", 0),
+    ("5 <= 5", 1),
+    ("6 <= 5", 0),
+    ("6 > 5", 1),
+    ("5 > 6", 0),
+    ("5 >= 5", 1),
+    ("5 >= 6", 0),
+    ("300 == 300", 1),
+    ("300 == 301", 0),
+    ("300 != 301", 1),
+    ("1 && 2", 1),
+    ("1 && 0", 0),
+    ("0 || 3", 1),
+    ("0 || 0", 0),
+    ("!0", 1),
+    ("!7", 0),
+    ("-1", 0xFFFF),
+    ("~0", 0xFFFF),
+    ("(2 + 3) * 4", 20),
+    ("2 + 3 * 4", 14),
+    ("1 + 2 == 3", 1),
+    ("100 / 7", 14),
+    ("100 % 7", 2),
+    ("65535 / 255", 257),
+    ("1234 % 100", 34),
+    ("7 / 9", 0),
+    ("7 % 9", 7),
+])
+def test_expression(expression, expected):
+    result = run_c(f"""
+u16 out;
+void main() {{ out = {expression}; halt(); }}
+""")
+    assert global_u16(result, 0) == expected, expression
+
+
+def test_u8_truncates_on_store():
+    result = run_c("""
+u8 small;
+u16 wide;
+void main() {
+    small = 300;        // truncates to 44
+    wide = small + 1;   // loads zero-extended
+    halt();
+}
+""")
+    assert result.heap_byte(0) == 300 & 0xFF
+    assert global_u16(result, 1) == (300 & 0xFF) + 1
+
+
+def test_u16_wraparound():
+    result = run_c("""
+u16 out;
+void main() { out = 65535 + 2; halt(); }
+""")
+    assert global_u16(result, 0) == 1
+
+
+# -- control flow -------------------------------------------------------------------
+
+def test_if_else_chain():
+    result = run_c("""
+u16 out;
+u16 classify(u16 x) {
+    if (x < 10) { return 1; }
+    else if (x < 100) { return 2; }
+    else { return 3; }
+}
+void main() {
+    out = classify(5) + classify(50) * 10 + classify(500) * 100;
+    halt();
+}
+""")
+    assert global_u16(result, 0) == 1 + 20 + 300
+
+
+def test_while_loop():
+    result = run_c("""
+u16 out;
+void main() {
+    u16 n = 0;
+    u16 acc = 0;
+    while (n < 100) { acc = acc + n; n = n + 1; }
+    out = acc;
+    halt();
+}
+""")
+    assert global_u16(result, 0) == sum(range(100))
+
+
+def test_for_loop_with_step():
+    result = run_c("""
+u16 out;
+void main() {
+    u16 i;
+    u16 acc = 0;
+    for (i = 0; i < 20; i = i + 2) { acc = acc + i; }
+    out = acc;
+    halt();
+}
+""")
+    assert global_u16(result, 0) == sum(range(0, 20, 2))
+
+
+def test_nested_loops():
+    result = run_c("""
+u16 out;
+void main() {
+    u16 i;
+    u16 j;
+    u16 acc = 0;
+    for (i = 1; i <= 5; i = i + 1) {
+        for (j = 1; j <= 5; j = j + 1) {
+            acc = acc + i * j;
+        }
+    }
+    out = acc;
+    halt();
+}
+""")
+    assert global_u16(result, 0) == sum(i * j for i in range(1, 6)
+                                        for j in range(1, 6))
+
+
+# -- arrays -----------------------------------------------------------------------------
+
+def test_u8_and_u16_arrays():
+    result = run_c("""
+u8 bytes[8];
+u16 words[4];
+u16 out;
+void main() {
+    u16 i;
+    for (i = 0; i < 8; i = i + 1) { bytes[i] = i + 1; }
+    for (i = 0; i < 4; i = i + 1) { words[i] = (i + 1) * 1000; }
+    out = bytes[3] + words[2];
+    halt();
+}
+""")
+    assert result.heap_byte(0 + 3) == 4
+    # words start after bytes (offset 8), element 2 at offset 8 + 4.
+    assert global_u16(result, 8 + 4) == 3000
+    assert global_u16(result, 16) == 4 + 3000
+
+
+def test_array_index_expression():
+    result = run_c("""
+u8 data[10];
+u16 out;
+void main() {
+    u16 i;
+    for (i = 0; i < 10; i = i + 1) { data[i] = i * i; }
+    out = data[2 + 3];
+    halt();
+}
+""")
+    assert global_u16(result, 10) == 25
+
+
+# -- functions ----------------------------------------------------------------------------
+
+def test_four_parameters():
+    result = run_c("""
+u16 out;
+u16 weigh(u16 a, u16 b, u16 c, u16 d) {
+    return a + b * 2 + c * 3 + d * 4;
+}
+void main() { out = weigh(1, 2, 3, 4); halt(); }
+""")
+    assert global_u16(result, 0) == 1 + 4 + 9 + 16
+
+
+def test_recursion_fibonacci():
+    result = run_c("""
+u16 out;
+u16 fib(u16 n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+void main() { out = fib(12); halt(); }
+""")
+    assert global_u16(result, 0) == 144
+
+
+def test_mutual_recursion():
+    result = run_c("""
+u16 out;
+u16 is_even(u16 n);
+u16 is_odd(u16 n) {
+    if (n == 0) { return 0; }
+    return is_even(n - 1);
+}
+u16 is_even(u16 n) {
+    if (n == 0) { return 1; }
+    return is_odd(n - 1);
+}
+void main() { out = is_even(10) * 10 + is_odd(7); halt(); }
+""".replace("u16 is_even(u16 n);\n", ""))
+    assert global_u16(result, 0) == 11
+
+
+def test_call_arguments_evaluate_in_order():
+    result = run_c("""
+u16 out;
+u16 sub2(u16 a, u16 b) { return a - b; }
+void main() { out = sub2(10, 3); halt(); }
+""")
+    assert global_u16(result, 0) == 7
+
+
+# -- intrinsics ------------------------------------------------------------------------------
+
+def test_io_intrinsics_drive_leds():
+    asm = compile_c_to_asm("""
+void main() {
+    io_write(0x3B, 5);     // PORTA (LEDs)
+    halt();
+}
+""")
+    result = run_native(asm)
+    assert result.finished
+    assert result.devices["leds"].state == 5
+
+
+def test_io_read_intrinsic():
+    result = run_c("""
+u16 out;
+void main() {
+    io_write(0x3B, 3);
+    out = io_read(0x3B);
+    halt();
+}
+""")
+    assert global_u16(result, 0) == 3
+
+
+def test_settimer_and_sleep_under_sensmart():
+    asm = compile_c_to_asm("""
+u16 wakes;
+void main() {
+    u16 i;
+    settimer(512);
+    for (i = 0; i < 4; i = i + 1) { sleep(); }
+    wakes = i;
+    halt();
+}
+""")
+    node = SensorNode.from_sources([("periodic", asm)])
+    kernel = node.kernel
+    heap = kernel.regions.by_task(0).p_l
+    node.run(max_instructions=5_000_000)
+    assert node.finished
+    assert kernel.cpu.mem.data[heap] == 4
+    assert kernel.stats.idle_cycles > 0
+
+
+# -- SenSmart equivalence -------------------------------------------------------------------
+
+def test_compiled_code_equivalent_under_sensmart():
+    source = """
+u16 out;
+u8 buf[12];
+u16 checksum(u8 n) {
+    u16 acc = 0;
+    u8 i = 0;
+    while (i < n) { acc = acc + buf[i] * (i + 1); i = i + 1; }
+    return acc;
+}
+void main() {
+    u8 i;
+    for (i = 0; i < 12; i = i + 1) { buf[i] = 17 * (i + 1); }
+    out = checksum(12);
+    halt();
+}
+"""
+    asm = compile_c_to_asm(source)
+    native = run_native(asm, max_instructions=5_000_000)
+    node = SensorNode.from_sources([("csum", asm)])
+    heap = node.kernel.regions.by_task(0).p_l
+    node.run(max_instructions=20_000_000)
+    assert native.finished and node.finished
+    native_value = native.heap_byte(0) | (native.heap_byte(1) << 8)
+    sensmart_value = node.kernel.cpu.mem.data[heap] | \
+        (node.kernel.cpu.mem.data[heap + 1] << 8)
+    expected = sum((17 * (i + 1) & 0xFF) * (i + 1)
+                   for i in range(12)) & 0xFFFF
+    assert native_value == sensmart_value == expected
+
+
+# -- diagnostics --------------------------------------------------------------------------------
+
+@pytest.mark.parametrize("source,fragment", [
+    ("void main() { out = 1; halt(); }", "unknown variable"),
+    ("u16 x; void main() { y(); }", "unknown function"),
+    ("u16 f(u16 a) { return a; } void main() { f(); halt(); }",
+     "argument"),
+    ("void main() { u16 a; u16 a; halt(); }", "duplicate local"),
+    ("u16 a[4]; void main() { a = 1; halt(); }", "assign whole array"),
+    ("u16 a; void main() { a[0] = 1; halt(); }", "not an array"),
+    ("u8 x; u8 y() { return 0; }", "no main"),
+])
+def test_compile_errors(source, fragment):
+    with pytest.raises(CompileError) as excinfo:
+        compile_c_to_asm(source)
+    assert fragment in str(excinfo.value)
+
+
+def test_syntax_error_reports_line():
+    with pytest.raises(CompileError) as excinfo:
+        compile_c_to_asm("void main() {\n    u16 x = ;\n}")
+    assert "line 2" in str(excinfo.value)
+
+
+# -- extended syntax (compound assignment, ++/--, do-while, break/continue) ----
+
+def test_compound_assignment_operators():
+    result = run_c("""
+u16 out;
+void main() {
+    u16 x = 10;
+    x += 5;
+    x -= 3;
+    x *= 2;
+    x |= 0x100;
+    x &= 0x1FF;
+    x ^= 0x003;
+    x <<= 2;
+    x >>= 1;
+    out = x;
+    halt();
+}
+""")
+    x = 10
+    x += 5; x -= 3; x *= 2; x |= 0x100; x &= 0x1FF; x ^= 0x003
+    x = (x << 2) & 0xFFFF; x >>= 1
+    assert global_u16(result, 0) == x
+
+
+def test_increment_decrement():
+    result = run_c("""
+u16 out;
+u8 arr[4];
+void main() {
+    u16 i = 5;
+    i++;
+    i++;
+    i--;
+    arr[2]++;
+    arr[2]++;
+    out = i * 100 + arr[2];
+    halt();
+}
+""")
+    assert global_u16(result, 0) == 602
+
+
+def test_do_while_runs_at_least_once():
+    result = run_c("""
+u16 out;
+void main() {
+    u16 n = 0;
+    do { n++; } while (n < 5);
+    out = n;
+    u16 m = 100;
+    do { m++; } while (0);
+    out = out * 1000 + m;
+    halt();
+}
+""".replace("u16 m = 100;", "").replace("m++", "out = out").replace(
+        "out = out * 1000 + m;", ""))
+    assert global_u16(result, 0) == 5
+
+
+def test_do_while_body_executes_once_on_false_condition():
+    result = run_c("""
+u16 out;
+void main() {
+    out = 0;
+    do { out += 7; } while (0);
+    halt();
+}
+""")
+    assert global_u16(result, 0) == 7
+
+
+def test_break_exits_loop():
+    result = run_c("""
+u16 out;
+void main() {
+    u16 i;
+    out = 0;
+    for (i = 0; i < 100; i++) {
+        if (i == 5) { break; }
+        out += 1;
+    }
+    out = out * 100 + i;
+    halt();
+}
+""")
+    assert global_u16(result, 0) == 505
+
+
+def test_continue_skips_iteration():
+    result = run_c("""
+u16 out;
+void main() {
+    u16 i;
+    out = 0;
+    for (i = 0; i < 10; i++) {
+        if (i & 1) { continue; }
+        out += i;
+    }
+    halt();
+}
+""")
+    assert global_u16(result, 0) == sum(i for i in range(10) if not i & 1)
+
+
+def test_continue_in_while_reaches_condition():
+    result = run_c("""
+u16 out;
+void main() {
+    u16 i = 0;
+    out = 0;
+    while (i < 8) {
+        i++;
+        if (i == 3) { continue; }
+        out += i;
+    }
+    halt();
+}
+""")
+    assert global_u16(result, 0) == sum(range(1, 9)) - 3
+
+
+def test_break_outside_loop_is_an_error():
+    with pytest.raises(CompileError) as excinfo:
+        compile_c_to_asm("void main() { break; halt(); }")
+    assert "break outside" in str(excinfo.value)
+
+
+def test_nested_break_targets_inner_loop():
+    result = run_c("""
+u16 out;
+void main() {
+    u16 i;
+    u16 j;
+    out = 0;
+    for (i = 0; i < 4; i++) {
+        for (j = 0; j < 10; j++) {
+            if (j == 2) { break; }
+            out += 1;
+        }
+    }
+    halt();
+}
+""")
+    assert global_u16(result, 0) == 4 * 2
+
+
+def test_global_initializers():
+    result = run_c("""
+u16 big = 0x1234;
+u8 small = 77;
+u16 out;
+void main() { out = big + small; halt(); }
+""")
+    assert global_u16(result, 0) == 0x1234
+    assert result.heap_byte(2) == 77
+    assert global_u16(result, 3) == 0x1234 + 77
+
+
+def test_division_by_zero_is_deterministic():
+    first = run_c("""
+u16 out;
+void main() { out = 123 / 0; halt(); }
+""")
+    second = run_c("""
+u16 out;
+void main() { out = 123 / 0; halt(); }
+""")
+    assert global_u16(first, 0) == global_u16(second, 0)

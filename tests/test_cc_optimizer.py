@@ -1,0 +1,134 @@
+"""TinyC peephole optimizer: savings with identical semantics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.native import run_native
+from repro.cc import compile_c_to_asm
+from repro.cc.optimizer import optimize_lines
+from tests.test_differential import c_expression
+
+PROGRAMS = [
+    """
+u16 out;
+u16 fib(u16 n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+void main() { out = fib(11); halt(); }
+""",
+    """
+u16 out;
+u8 data[16];
+void main() {
+    u16 i;
+    u16 acc = 0;
+    for (i = 0; i < 16; i++) { data[i] = i * 7; }
+    for (i = 0; i < 16; i++) { acc += data[i] & 0x3F; }
+    out = acc;
+    halt();
+}
+""",
+    """
+u16 out;
+void main() {
+    u16 x = 1;
+    u16 i;
+    for (i = 0; i < 10; i++) { x = (x << 1) ^ (x + 3); }
+    out = x;
+    halt();
+}
+""",
+]
+
+
+@pytest.mark.parametrize("source", PROGRAMS)
+def test_optimizer_preserves_results_and_saves_cycles(source):
+    plain = run_native(compile_c_to_asm(source, optimize=False),
+                       max_instructions=20_000_000)
+    optimized = run_native(compile_c_to_asm(source, optimize=True),
+                           max_instructions=20_000_000)
+    assert plain.finished and optimized.finished
+    assert plain.heap_byte(0) == optimized.heap_byte(0)
+    assert plain.heap_byte(1) == optimized.heap_byte(1)
+    assert optimized.cycles < plain.cycles
+
+
+def test_leaf_spill_pattern_rewritten():
+    lines = [
+        "    push r24",
+        "    push r25",
+        "    ldi r24, 5",
+        "    ldi r25, 0",
+        "    pop r23",
+        "    pop r22",
+        "    add r22, r24",
+    ]
+    out = optimize_lines(lines)
+    assert out == [
+        "    movw r22, r24",
+        "    ldi r24, 5",
+        "    ldi r25, 0",
+        "    add r22, r24",
+    ]
+
+
+def test_non_leaf_spill_untouched():
+    lines = [
+        "    push r24",
+        "    push r25",
+        "    call fib",        # not a leaf: must keep the spill
+        "    pop r23",
+        "    pop r22",
+    ]
+    assert optimize_lines(list(lines)) == lines
+
+
+def test_patterns_do_not_cross_labels():
+    lines = [
+        "    push r24",
+        "    push r25",
+        "somewhere:",
+        "    ldi r24, 5",
+        "    ldi r25, 0",
+        "    pop r23",
+        "    pop r22",
+    ]
+    assert optimize_lines(list(lines)) == lines
+
+
+def test_store_load_forwarding():
+    lines = [
+        "    std Y+3, r24",
+        "    ldd r24, Y+3",
+        "    inc r24",
+    ]
+    assert optimize_lines(lines) == [
+        "    std Y+3, r24",
+        "    inc r24",
+    ]
+
+
+def test_store_load_different_slots_untouched():
+    lines = [
+        "    std Y+3, r24",
+        "    ldd r24, Y+5",
+    ]
+    assert optimize_lines(list(lines)) == lines
+
+
+@given(c_expression())
+@settings(max_examples=30, deadline=None)
+def test_optimized_expressions_match_unoptimized(pair):
+    text, expected = pair
+    source = f"""
+u16 out;
+void main() {{ out = {text}; halt(); }}
+"""
+    optimized = run_native(compile_c_to_asm(source, optimize=True),
+                           max_instructions=2_000_000)
+    assert optimized.finished
+    assert optimized.heap_byte(0) | (optimized.heap_byte(1) << 8) == \
+        expected

@@ -1,0 +1,87 @@
+"""Command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+BLINK = """
+main:
+    ldi r16, 1
+    ldi r20, 3
+loop:
+    out 0x1B, r16
+    eor r16, r20
+    dec r20
+    brne loop
+    break
+"""
+
+
+@pytest.fixture
+def blink_file(tmp_path):
+    path = tmp_path / "blink.asm"
+    path.write_text(BLINK)
+    return str(path)
+
+
+def test_asm_command(blink_file, capsys):
+    assert main(["asm", blink_file]) == 0
+    out = capsys.readouterr().out
+    assert "LDI r16, 0x01" in out
+    assert "14 bytes" in out
+
+
+def test_rewrite_command(blink_file, capsys):
+    assert main(["rewrite", blink_file]) == 0
+    out = capsys.readouterr().out
+    assert "naturalized blink" in out
+    assert "<- patched" in out
+    assert "trampolines" in out
+
+
+def test_run_command(blink_file, capsys):
+    assert main(["run", blink_file]) == 0
+    out = capsys.readouterr().out
+    assert "finished: True" in out
+    assert "'blink'" in out
+
+
+def test_run_command_multiple_tasks(blink_file, tmp_path, capsys):
+    second = tmp_path / "blink2.asm"
+    second.write_text(BLINK)
+    assert main(["run", blink_file, str(second)]) == 0
+    out = capsys.readouterr().out
+    assert "task 0" in out
+    assert "task 1" in out
+
+
+def test_exp_command_quick_table1(capsys):
+    assert main(["exp", "table1", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out
+
+
+def test_exp_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["exp", "fig99"])
+
+
+def test_trace_command(blink_file, capsys):
+    assert main(["trace", blink_file, "--limit", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "main:" in out
+    assert "LDI r16, 0x01" in out
+    assert "halted" in out
+
+
+def test_cli_compiles_c_files(tmp_path, capsys):
+    path = tmp_path / "prog.c"
+    path.write_text("""
+u16 out;
+void main() { out = 6 * 7; halt(); }
+""")
+    assert main(["run", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "finished: True" in out

@@ -1,0 +1,141 @@
+"""External flash and the copy-on-switch baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.avr.devices.extflash import (ExternalFlash, PAGE_ENDURANCE,
+                                        PAGE_READ_CYCLES,
+                                        PAGE_WRITE_CYCLES)
+from repro.baselines.copyswitch import (CONTEXT_CYCLES, CopyOnSwitchOS,
+                                        switch_cost_cycles)
+from repro.errors import SimulationError
+from repro.kernel import costs
+
+
+# -- external flash ---------------------------------------------------------------
+
+def test_flash_roundtrip():
+    flash = ExternalFlash()
+    cost = flash.write_page(3, b"hello flash")
+    assert cost == PAGE_WRITE_CYCLES
+    data, read_cost = flash.read_page(3)
+    assert data[:11] == b"hello flash"
+    assert read_cost == PAGE_READ_CYCLES
+
+
+def test_flash_blob_spans_pages():
+    flash = ExternalFlash()
+    payload = bytes(range(256)) * 3  # 768 bytes -> 3 pages
+    cycles = flash.write_blob(10, payload)
+    assert cycles == 3 * PAGE_WRITE_CYCLES
+    data, _ = flash.read_blob(10, len(payload))
+    assert data == payload
+
+
+def test_flash_write_is_slow():
+    # The paper's Section I argument: >10 ms at 7.37 MHz.
+    assert PAGE_WRITE_CYCLES > 0.010 * 7_372_800
+
+
+def test_flash_wears_out():
+    flash = ExternalFlash()
+    for _ in range(PAGE_ENDURANCE):
+        flash.write_page(0, b"x")
+    with pytest.raises(SimulationError):
+        flash.write_page(0, b"x")
+    assert flash.max_wear() == PAGE_ENDURANCE
+
+
+def test_flash_rejects_bad_page():
+    flash = ExternalFlash(pages=4)
+    with pytest.raises(SimulationError):
+        flash.write_page(4, b"x")
+
+
+# -- copy-on-switch OS -----------------------------------------------------------
+
+SPINNER = """
+main:
+    ldi r26, 0
+    ldi r27, 0
+    ldi r28, 1
+outer:
+inner:
+    adiw r26, 1
+    brne inner
+    dec r28
+    brne outer
+    break
+"""
+
+WRITER = """
+.bss mark, 1
+main:
+    ldi r16, {value}
+    sts mark, r16
+    push r16
+    ldi r20, 200
+spin:
+    dec r20
+    brne spin
+    pop r17
+    break
+"""
+
+
+def test_copyswitch_runs_tasks_to_completion():
+    os_model = CopyOnSwitchOS(
+        [("a", SPINNER), ("b", SPINNER)], slice_cycles=50_000)
+    stats = os_model.run()
+    assert all(t.done for t in os_model.threads)
+    assert stats.switches >= 2
+    assert stats.swap_cycles > 0
+
+
+def test_copyswitch_preserves_stack_contents_across_swap():
+    os_model = CopyOnSwitchOS(
+        [("a", WRITER.format(value=0x11)),
+         ("b", WRITER.format(value=0x22))],
+        slice_cycles=300)  # force swaps mid-spin, with live stack data
+    os_model.run()
+    a, b = os_model.threads
+    assert a.done and b.done
+    # Each task popped back the byte it pushed (r17 == its value).
+    assert a.regs[17] == 0x11
+    assert b.regs[17] == 0x22
+
+
+def test_copyswitch_cost_dwarfs_sensmart():
+    per_switch = switch_cost_cycles(512)
+    assert per_switch > 30 * costs.FULL_SWITCH
+    assert per_switch > CONTEXT_CYCLES
+
+
+def test_copyswitch_accounts_wear():
+    os_model = CopyOnSwitchOS(
+        [("a", SPINNER), ("b", SPINNER)], slice_cycles=5_000)
+    os_model.run()
+    assert os_model.flash_device.max_wear() >= 1
+
+
+def test_copyswitch_experiment_renders():
+    from repro.experiments import extra_copyswitch
+    result = extra_copyswitch.run()
+    text = result.render()
+    assert "copy-on-switch" in text
+    assert result.copyswitch_switch_cycles > \
+        10 * result.sensmart_switch_cycles
+    assert result.lifetime_hours_at_100hz < 1.0
+
+
+def test_latency_experiment_bounds_hold():
+    from repro.experiments import extra_latency
+    result = extra_latency.run()
+    for row in result.rows_data:
+        assert row.samples > 10
+        assert row.max_us <= row.bound_us * 1.2
+    # CLI row behaves like its interrupt-enabled twin.
+    normal = result.rows_data[1]
+    with_cli = result.rows_data[3]
+    assert abs(normal.mean_us - with_cli.mean_us) < 5.0

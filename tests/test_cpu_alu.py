@@ -1,0 +1,249 @@
+"""ALU semantics: results and SREG flags."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.avr.cpu import C, H, N, S, V, Z
+from tests.conftest import run_asm
+
+
+def flags(cpu) -> int:
+    return cpu.sreg & 0x3F  # C..H
+
+
+def test_add_carry_and_halfcarry():
+    cpu = run_asm("""
+main:
+    ldi r16, 0xFF
+    ldi r17, 0x01
+    add r16, r17
+    break
+""")
+    assert cpu.r[16] == 0x00
+    assert flags(cpu) & C
+    assert flags(cpu) & Z
+    assert flags(cpu) & H
+    assert not flags(cpu) & N
+
+
+def test_add_signed_overflow():
+    cpu = run_asm("""
+main:
+    ldi r16, 0x7F
+    ldi r17, 0x01
+    add r16, r17
+    break
+""")
+    assert cpu.r[16] == 0x80
+    assert flags(cpu) & V
+    assert flags(cpu) & N
+    assert not flags(cpu) & S  # S = N xor V
+
+
+def test_adc_uses_carry():
+    cpu = run_asm("""
+main:
+    sec
+    ldi r16, 1
+    ldi r17, 1
+    adc r16, r17
+    break
+""")
+    assert cpu.r[16] == 3
+
+
+def test_sub_borrow():
+    cpu = run_asm("""
+main:
+    ldi r16, 0x02
+    ldi r17, 0x03
+    sub r16, r17
+    break
+""")
+    assert cpu.r[16] == 0xFF
+    assert flags(cpu) & C
+    assert flags(cpu) & N
+
+
+def test_sbc_z_flag_is_sticky():
+    # 16-bit compare idiom: Z survives SBC only if already set.
+    cpu = run_asm("""
+main:
+    ldi r16, 0x00
+    ldi r17, 0x01
+    ldi r18, 0x00
+    ldi r19, 0x01
+    cp  r16, r18
+    cpc r17, r19
+    break
+""")
+    assert flags(cpu) & Z  # 0x0100 == 0x0100
+
+    cpu = run_asm("""
+main:
+    ldi r16, 0x01
+    ldi r17, 0x01
+    ldi r18, 0x00
+    ldi r19, 0x01
+    cp  r16, r18
+    cpc r17, r19
+    break
+""")
+    assert not flags(cpu) & Z  # 0x0101 != 0x0100
+
+
+@pytest.mark.parametrize("op,a,b,expected", [
+    ("and", 0xF0, 0x3C, 0x30),
+    ("or", 0xF0, 0x0C, 0xFC),
+    ("eor", 0xFF, 0x0F, 0xF0),
+])
+def test_logic_ops(op, a, b, expected):
+    cpu = run_asm(f"""
+main:
+    ldi r16, {a}
+    ldi r17, {b}
+    {op} r16, r17
+    break
+""")
+    assert cpu.r[16] == expected
+    assert not flags(cpu) & V
+
+
+def test_com_sets_carry():
+    cpu = run_asm("""
+main:
+    ldi r16, 0x55
+    com r16
+    break
+""")
+    assert cpu.r[16] == 0xAA
+    assert flags(cpu) & C
+
+
+def test_neg():
+    cpu = run_asm("""
+main:
+    ldi r16, 1
+    neg r16
+    break
+""")
+    assert cpu.r[16] == 0xFF
+    assert flags(cpu) & C
+    assert flags(cpu) & N
+
+
+def test_inc_dec_do_not_touch_carry():
+    cpu = run_asm("""
+main:
+    sec
+    ldi r16, 0x00
+    dec r16
+    inc r16
+    break
+""")
+    assert flags(cpu) & C
+
+
+def test_lsr_ror_chain_divides_16bit_by_two():
+    cpu = run_asm("""
+main:
+    ldi r25, 0x03
+    ldi r24, 0x01   ; r25:r24 = 0x0301
+    lsr r25
+    ror r24
+    break
+""")
+    assert (cpu.r[25] << 8) | cpu.r[24] == 0x0301 >> 1
+    assert flags(cpu) & C  # bit shifted out
+
+
+def test_asr_preserves_sign():
+    cpu = run_asm("""
+main:
+    ldi r16, 0x84
+    asr r16
+    break
+""")
+    assert cpu.r[16] == 0xC2
+
+
+def test_swap():
+    cpu = run_asm("""
+main:
+    ldi r16, 0xA5
+    swap r16
+    break
+""")
+    assert cpu.r[16] == 0x5A
+
+
+def test_mul():
+    cpu = run_asm("""
+main:
+    ldi r16, 200
+    ldi r17, 3
+    mul r16, r17
+    break
+""")
+    assert cpu.r[0] == (200 * 3) & 0xFF
+    assert cpu.r[1] == (200 * 3) >> 8
+    assert not cpu.sreg & Z
+
+
+def test_adiw_and_sbiw():
+    cpu = run_asm("""
+main:
+    ldi r26, 0xFF
+    ldi r27, 0x00
+    adiw r26, 2
+    break
+""")
+    assert cpu.get_pair(26) == 0x101
+
+    cpu = run_asm("""
+main:
+    ldi r28, 0x01
+    ldi r29, 0x00
+    sbiw r28, 2
+    break
+""")
+    assert cpu.get_pair(28) == 0xFFFF
+    assert cpu.sreg & C
+
+
+def test_movw():
+    cpu = run_asm("""
+main:
+    ldi r16, 0x34
+    ldi r17, 0x12
+    movw r30, r16
+    break
+""")
+    assert cpu.get_pair(30) == 0x1234
+
+
+def test_synthetic_mnemonics():
+    cpu = run_asm("""
+main:
+    ldi r16, 0x41
+    clr r17
+    lsl r16
+    tst r17
+    break
+""")
+    assert cpu.r[16] == 0x82
+    assert cpu.r[17] == 0
+    assert cpu.sreg & Z  # from TST of zero
+
+
+def test_bld_bst():
+    cpu = run_asm("""
+main:
+    ldi r16, 0x08
+    bst r16, 3      ; T := 1
+    clr r17
+    bld r17, 7      ; r17.7 := T
+    break
+""")
+    assert cpu.r[17] == 0x80

@@ -1,0 +1,197 @@
+"""Control flow: branches, calls, skips, interrupts, sleep, cycles."""
+
+from __future__ import annotations
+
+from repro.avr import AvrCpu, Flash, assemble
+from repro.avr import ioports
+from tests.conftest import run_asm
+
+
+def test_call_ret():
+    cpu = run_asm("""
+main:
+    ldi r16, 1
+    call double
+    call double
+    break
+double:
+    add r16, r16
+    ret
+""")
+    assert cpu.r[16] == 4
+    assert cpu.sp == ioports.RAM_END
+
+
+def test_rcall_ret():
+    cpu = run_asm("""
+main:
+    ldi r16, 5
+    rcall bump
+    break
+bump:
+    inc r16
+    ret
+""")
+    assert cpu.r[16] == 6
+
+
+def test_icall_via_z():
+    cpu = run_asm("""
+main:
+    ldi r30, lo8(target)
+    ldi r31, hi8(target)
+    icall
+    break
+target:
+    ldi r20, 0x99
+    ret
+""")
+    assert cpu.r[20] == 0x99
+
+
+def test_ijmp():
+    cpu = run_asm("""
+main:
+    ldi r30, lo8(finish)
+    ldi r31, hi8(finish)
+    ijmp
+    ldi r20, 1        ; skipped
+finish:
+    break
+""")
+    assert cpu.r[20] == 0
+
+
+def test_skip_instructions_skip_two_word_instruction():
+    cpu = run_asm("""
+main:
+    ldi r16, 0x01
+    sbrs r16, 0           ; bit set -> skip the 2-word JMP
+    jmp bad
+    ldi r20, 0xAA
+    break
+bad:
+    ldi r20, 0xFF
+    break
+""")
+    assert cpu.r[20] == 0xAA
+
+
+def test_cpse():
+    cpu = run_asm("""
+main:
+    ldi r16, 7
+    ldi r17, 7
+    cpse r16, r17
+    ldi r20, 1        ; skipped
+    ldi r21, 2
+    break
+""")
+    assert cpu.r[20] == 0
+    assert cpu.r[21] == 2
+
+
+def test_branch_cycle_costs():
+    # Taken branch costs 2 cycles, not-taken costs 1.
+    taken = run_asm("""
+main:
+    sez
+    breq target
+target:
+    break
+""")
+    not_taken = run_asm("""
+main:
+    clz
+    breq target
+target:
+    break
+""")
+    # Same instruction counts; the taken variant costs one more cycle.
+    assert taken.cycles == not_taken.cycles + 1
+
+
+def test_documented_cycle_counts():
+    cpu = run_asm("""
+main:
+    nop               ; 1
+    ldi r16, 1        ; 1
+    push r16          ; 2
+    pop r16           ; 2
+    rjmp over         ; 2
+over:
+    break             ; 1
+""")
+    assert cpu.cycles == 9
+
+
+def test_interrupt_dispatch_and_reti():
+    source = f"""
+.org {ioports.VECT_TIMER3_COMPA}
+    jmp isr
+
+.org 0x40
+main:
+    sei
+    ldi r16, 0
+wait:
+    cpi r16, 1
+    brne wait
+    break
+
+isr:
+    ldi r16, 1
+    reti
+"""
+    program = assemble(source)
+    flash = Flash()
+    flash.load(0, program.words)
+    cpu = AvrCpu(flash)
+    cpu.pc = program.labels["main"]
+    # Raise the interrupt after a few instructions.
+    cpu.run(max_instructions=5)
+    cpu.raise_interrupt(ioports.VECT_TIMER3_COMPA)
+    cpu.run(max_instructions=100)
+    assert cpu.halted
+    assert cpu.r[16] == 1
+    assert cpu.sreg & (1 << 7)  # I restored by RETI
+
+
+def test_interrupts_masked_when_i_clear():
+    program = assemble(f"""
+.org {ioports.VECT_TIMER3_COMPA}
+    jmp isr
+.org 0x40
+main:
+    cli
+    ldi r16, 0
+    nop
+    nop
+    break
+isr:
+    ldi r16, 1
+    reti
+""")
+    flash = Flash()
+    flash.load(0, program.words)
+    cpu = AvrCpu(flash)
+    cpu.pc = program.labels["main"]
+    cpu.run(max_instructions=3)
+    cpu.raise_interrupt(ioports.VECT_TIMER3_COMPA)
+    cpu.run(max_instructions=100)
+    assert cpu.halted
+    assert cpu.r[16] == 0  # ISR never ran
+
+
+def test_run_respects_cycle_limit():
+    program = assemble("""
+main:
+    rjmp main
+""")
+    flash = Flash()
+    flash.load(0, program.words)
+    cpu = AvrCpu(flash)
+    cpu.run(max_cycles=1000)
+    assert not cpu.halted
+    assert cpu.cycles >= 1000
+    assert cpu.cycles <= 1002

@@ -1,0 +1,189 @@
+"""Encoder/decoder tests: golden opcodes and property-based round-trips."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.avr import Instruction, decode, encode, instruction_words
+from repro.avr.isa import Format, OPCODES
+from repro.errors import EncodingError
+
+# -- golden encodings taken from the AVR instruction-set manual ----------------
+
+GOLDEN = [
+    (Instruction("NOP"), (0x0000,)),
+    (Instruction("ADD", (1, 2)), (0x0C12,)),
+    (Instruction("ADD", (17, 16)), (0x0F10,)),
+    (Instruction("ADC", (5, 21)), (0x1E55,)),
+    (Instruction("SUB", (0, 31)), (0x1A0F,)),
+    (Instruction("MOV", (30, 1)), (0x2DE1,)),
+    (Instruction("MOVW", (30, 0)), (0x01F0,)),
+    (Instruction("MUL", (16, 17)), (0x9F01,)),
+    (Instruction("LDI", (16, 0xFF)), (0xEF0F,)),
+    (Instruction("LDI", (31, 0x10)), (0xE1F0,)),
+    (Instruction("CPI", (16, 0x42)), (0x3402,)),
+    (Instruction("ANDI", (20, 0x0F)), (0x704F,)),
+    (Instruction("COM", (7,)), (0x9470,)),
+    (Instruction("INC", (28,)), (0x95C3,)),
+    (Instruction("DEC", (16,)), (0x950A,)),
+    (Instruction("LSR", (3,)), (0x9436,)),
+    (Instruction("ADIW", (24, 1)), (0x9601,)),
+    (Instruction("SBIW", (30, 63)), (0x97FF,)),
+    (Instruction("LD", (0, "X+")), (0x900D,)),
+    (Instruction("ST", (17, "-Y")), (0x931A,)),
+    (Instruction("LDD", (4, "Y", 3)), (0x804B,)),
+    (Instruction("LDD", (4, "Z", 0)), (0x8040,)),
+    (Instruction("STD", (2, "Z", 5)), (0x8225,)),
+    (Instruction("LDS", (2, 0x0103)), (0x9020, 0x0103)),
+    (Instruction("STS", (2, 0x0103)), (0x9220, 0x0103)),
+    (Instruction("PUSH", (16,)), (0x930F,)),
+    (Instruction("POP", (16,)), (0x910F,)),
+    (Instruction("LPM", (0, "LEGACY")), (0x95C8,)),
+    (Instruction("LPM", (6, "Z+")), (0x9065,)),
+    (Instruction("IN", (16, 0x3D)), (0xB70D,)),
+    (Instruction("OUT", (0x3E, 29)), (0xBFDE,)),
+    (Instruction("SBI", (0x18, 2)), (0x9AC2,)),
+    (Instruction("SBIC", (0x06, 1)), (0x9931,)),
+    (Instruction("RJMP", (-1,)), (0xCFFF,)),
+    (Instruction("RJMP", (2,)), (0xC002,)),
+    (Instruction("RCALL", (0,)), (0xD000,)),
+    (Instruction("JMP", (0x123,)), (0x940C, 0x0123)),
+    (Instruction("CALL", (0x1FFFF,)), (0x940F, 0xFFFF)),
+    (Instruction("IJMP", ()), (0x9409,)),
+    (Instruction("ICALL", ()), (0x9509,)),
+    (Instruction("RET", ()), (0x9508,)),
+    (Instruction("RETI", ()), (0x9518,)),
+    (Instruction("BRBS", (1, -2)), (0xF3F1,)),
+    (Instruction("BRBC", (1, 4)), (0xF421,)),
+    (Instruction("SBRC", (10, 3)), (0xFCA3,)),
+    (Instruction("SBRS", (31, 7)), (0xFFF7,)),
+    (Instruction("BLD", (3, 0)), (0xF830,)),
+    (Instruction("BST", (3, 7)), (0xFA37,)),
+    (Instruction("BSET", (7,)), (0x9478,)),  # SEI
+    (Instruction("BCLR", (7,)), (0x94F8,)),  # CLI
+    (Instruction("SLEEP", ()), (0x9588,)),
+    (Instruction("WDR", ()), (0x95A8,)),
+    (Instruction("BREAK", ()), (0x9598,)),
+]
+
+
+@pytest.mark.parametrize("instruction,expected", GOLDEN,
+                         ids=[str(i) for i, _ in GOLDEN])
+def test_golden_encode(instruction, expected):
+    assert encode(instruction) == expected
+
+
+@pytest.mark.parametrize("instruction,words", GOLDEN,
+                         ids=[str(i) for i, _ in GOLDEN])
+def test_golden_decode(instruction, words):
+    decoded = decode(words[0], words[1] if len(words) > 1 else None)
+    assert decoded.mnemonic == instruction.mnemonic
+    assert decoded.operands == instruction.operands
+
+
+@pytest.mark.parametrize("instruction,words", GOLDEN,
+                         ids=[str(i) for i, _ in GOLDEN])
+def test_instruction_words_matches_spec(instruction, words):
+    assert instruction_words(words[0]) == len(words)
+    assert OPCODES[instruction.mnemonic].words == len(words)
+
+
+# -- property-based round-trips over the full operand space --------------------
+
+_regs = st.integers(0, 31)
+_high_regs = st.integers(16, 31)
+_imm8 = st.integers(0, 255)
+_bits = st.integers(0, 7)
+
+
+def _strategy_for(mnemonic: str):
+    fmt = OPCODES[mnemonic].fmt
+    if fmt in (Format.R2, Format.MUL):
+        return st.tuples(_regs, _regs)
+    if fmt is Format.MOVW:
+        even = st.integers(0, 15).map(lambda v: v * 2)
+        return st.tuples(even, even)
+    if fmt in (Format.RD, Format.PUSHPOP):
+        return st.tuples(_regs)
+    if fmt is Format.IMM8:
+        return st.tuples(_high_regs, _imm8)
+    if fmt is Format.ADIW:
+        return st.tuples(st.sampled_from([24, 26, 28, 30]),
+                         st.integers(0, 63))
+    if fmt is Format.LDST_DISP:
+        return st.tuples(_regs, st.sampled_from(["Y", "Z"]),
+                         st.integers(0, 63))
+    if fmt is Format.LDST_PTR:
+        return st.tuples(_regs, st.sampled_from(
+            ["X", "X+", "-X", "Y+", "-Y", "Z+", "-Z"]))
+    if fmt is Format.LDST_DIRECT:
+        return st.tuples(_regs, st.integers(0, 0xFFFF))
+    if fmt is Format.LPM:
+        return st.one_of(
+            st.just((0, "LEGACY")),
+            st.tuples(_regs, st.sampled_from(["Z", "Z+"])))
+    if fmt is Format.IO:
+        if mnemonic == "IN":
+            return st.tuples(_regs, st.integers(0, 63))
+        return st.tuples(st.integers(0, 63), _regs)
+    if fmt is Format.IOBIT:
+        return st.tuples(st.integers(0, 31), _bits)
+    if fmt is Format.REL12:
+        return st.tuples(st.integers(-2048, 2047))
+    if fmt is Format.BRANCH:
+        return st.tuples(_bits, st.integers(-64, 63))
+    if fmt in (Format.SKIP_REG, Format.TFLAG):
+        return st.tuples(_regs, _bits)
+    if fmt is Format.JMPCALL:
+        return st.tuples(st.integers(0, (1 << 22) - 1))
+    if fmt is Format.SREG_OP:
+        return st.tuples(_bits)
+    if fmt is Format.IMPLIED:
+        return st.just(())
+    raise AssertionError(fmt)
+
+
+@st.composite
+def any_instruction(draw):
+    mnemonic = draw(st.sampled_from(sorted(OPCODES)))
+    operands = draw(_strategy_for(mnemonic))
+    return Instruction(mnemonic, tuple(operands))
+
+
+@given(any_instruction())
+def test_roundtrip(instruction):
+    words = encode(instruction)
+    assert len(words) == OPCODES[instruction.mnemonic].words
+    decoded = decode(words[0], words[1] if len(words) > 1 else None)
+    assert decoded.mnemonic == instruction.mnemonic
+    assert decoded.operands == instruction.operands
+
+
+@given(any_instruction())
+def test_instruction_words_consistent(instruction):
+    words = encode(instruction)
+    assert instruction_words(words[0]) == len(words)
+
+
+def test_decode_rejects_erased_flash():
+    with pytest.raises(EncodingError):
+        decode(0xFFFF)
+
+
+def test_two_word_instruction_requires_second_word():
+    with pytest.raises(EncodingError):
+        decode(0x940C, None)
+    with pytest.raises(EncodingError):
+        decode(0x9020, None)
+
+
+def test_encode_rejects_bad_operands():
+    with pytest.raises(EncodingError):
+        encode(Instruction("LDI", (5, 1)))  # LDI needs r16..r31
+    with pytest.raises(EncodingError):
+        encode(Instruction("ADIW", (25, 1)))  # odd pair base
+    with pytest.raises(EncodingError):
+        encode(Instruction("RJMP", (5000,)))  # offset too large
+    with pytest.raises(EncodingError):
+        encode(Instruction("XYZZY", ()))

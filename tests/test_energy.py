@@ -1,0 +1,70 @@
+"""Energy model and the energy experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.energy import (EnergyModel, measure_native,
+                                   measure_sensmart)
+from repro.baselines.native import run_native
+from repro.kernel import SensorNode
+from repro.workloads.kernelbench import KERNEL_BENCHMARKS
+from repro.workloads.periodic import (periodic_native_source,
+                                      periodic_sensmart_source)
+
+
+def test_model_unit_conversion():
+    model = EnergyModel(active_ma=10.0, idle_ma=0.0, voltage=3.0,
+                        clock_hz=1_000_000)
+    report = model.report(total_cycles=1_000_000)  # exactly 1 s active
+    assert report.cpu_mj == pytest.approx(30.0)  # 10 mA * 3 V * 1 s
+    assert report.total_mj == pytest.approx(30.0)
+    assert report.average_ma() == pytest.approx(10.0)
+
+
+def test_idle_cycles_cost_little():
+    model = EnergyModel()
+    busy = model.report(total_cycles=1_000_000, idle_cycles=0)
+    sleepy = model.report(total_cycles=1_000_000, idle_cycles=900_000)
+    assert sleepy.total_mj < 0.2 * busy.total_mj
+
+
+def test_radio_energy_counted():
+    result = run_native(KERNEL_BENCHMARKS["am"](packets=4))
+    report = measure_native(result)
+    assert report.radio_mj > 0
+    assert report.adc_mj == 0
+
+
+def test_adc_energy_counted():
+    result = run_native(KERNEL_BENCHMARKS["readadc"](samples=16))
+    report = measure_native(result)
+    assert report.adc_mj > 0
+    assert report.radio_mj == 0
+
+
+def test_sensmart_energy_exceeds_native_on_computation():
+    size, activations = 20_000, 5
+    native = run_native(
+        periodic_native_source(size, activations),
+        max_instructions=200_000_000)
+    node = SensorNode.from_sources(
+        [("p", periodic_sensmart_source(size, activations))])
+    node.run(max_instructions=200_000_000)
+    assert native.finished and node.finished
+    native_report = measure_native(native)
+    sensmart_report = measure_sensmart(node)
+    assert sensmart_report.total_mj > native_report.total_mj
+    # ...but the average current stays low while sleep dominates.
+    assert sensmart_report.average_ma() < EnergyModel().active_ma
+
+
+def test_energy_experiment_structure():
+    from repro.experiments import extra_energy
+    result = extra_energy.run(sizes=[10_000, 60_000], activations=4)
+    assert len(result.points) == 2
+    for point in result.points:
+        assert point.sensmart_mj > point.native_mj
+    # Average draw approaches the active figure at saturation.
+    assert result.points[-1].sensmart_ma > result.points[0].sensmart_ma
+    assert "mJ" in result.render()

@@ -1,0 +1,79 @@
+"""Experiment harnesses: structure and key claims at smoke-test scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig4, fig5, fig6, fig7, fig8, table1, table2
+from repro.experiments.runner import run_all
+
+
+def test_table1_structure_and_verification():
+    result = table1.run()
+    assert result.verified
+    assert len(result.rows) == 8
+    assert "Feature" not in result.rows[0]  # headers live in render()
+    rendered = result.render()
+    assert "SenSmart" in rendered
+    assert "Stack Relocation" in rendered
+
+
+def test_table2_measures_calibrated_costs():
+    result = table2.run(reps=8)
+    assert result.measured("Mem direct, I/O area") == pytest.approx(2, abs=1)
+    assert result.measured("Mem direct, others") == pytest.approx(28, abs=2)
+    assert result.measured("Get stack pointer") == pytest.approx(45, abs=2)
+    assert result.measured("Set stack pointer") == pytest.approx(94, abs=2)
+    assert result.measured("Full switching") == pytest.approx(2298, abs=10)
+    assert "Table II" in result.render()
+
+
+def test_fig4_covers_all_benchmarks():
+    result = fig4.run()
+    names = sorted(b.name for b in result.breakdowns)
+    assert names == ["am", "amplitude", "crc", "eventchain", "lfsr",
+                     "readadc", "timer"]
+    for breakdown in result.breakdowns:
+        assert breakdown.tkernel_bytes > breakdown.sensmart_total
+        assert 1.0 < breakdown.sensmart_ratio < 3.5
+
+
+def test_fig5_orderings_hold_at_small_scale():
+    result = fig5.run(parameters={
+        "am": {"packets": 2}, "amplitude": {"samples": 8},
+        "crc": {"rounds": 2}, "eventchain": {"rounds": 4},
+        "lfsr": {"steps": 512}, "readadc": {"samples": 8},
+        "timer": {"ticks": 32}})
+    for row in result.measurements:
+        assert row.native_cycles <= row.sensmart_full_cycles
+        assert row.native_cycles <= row.tkernel_cycles
+
+
+def test_fig6_knee_behaviour_smoke():
+    result = fig6.run(sizes=[10_000, 60_000], activations=3)
+    small, knee = result.points
+    assert small.sensmart_cycles < small.tkernel_cycles
+    assert knee.sensmart_utilization > small.sensmart_utilization
+    assert small.mate_cycles > small.sensmart_cycles
+
+
+def test_fig7_small_sweep():
+    result = fig7.run(tree_sizes=[15, 50], max_tasks=16)
+    first, second = result.points
+    assert first.max_search_tasks > second.max_search_tasks >= 1
+    assert first.avg_stack_allocation > 0
+
+
+def test_fig8_small_sweep():
+    result = fig8.run(tree_sizes=[15, 50], max_tasks=16)
+    for point in result.points:
+        assert point.sensmart_tasks >= point.liteos_tasks >= 1
+    assert any(p.sensmart_tasks > p.liteos_tasks for p in result.points)
+
+
+def test_runner_quick_subset():
+    suite = run_all(quick=True, only=["table1", "fig4"])
+    assert set(suite.results) == {"table1", "fig4"}
+    rendered = suite.render()
+    assert "===== table1 =====" in rendered
+    assert "===== fig4 =====" in rendered

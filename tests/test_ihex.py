@@ -1,0 +1,84 @@
+"""Intel HEX encoding/decoding of flash images."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.avr.memory import Flash
+from repro.toolchain import link_image
+from repro.toolchain.ihex import (IhexError, ihex_to_bytes, ihex_to_words,
+                                  image_to_ihex, load_ihex_into_flash,
+                                  words_to_ihex)
+
+
+def test_known_record_format():
+    text = words_to_ihex([0x1234], byte_origin=0)
+    lines = text.splitlines()
+    # Segment record for segment 0, one data record, EOF.
+    assert lines[0] == ":020000020000FC"
+    assert lines[1] == ":020000003412B8"
+    assert lines[2] == ":00000001FF"
+
+
+def test_eof_required():
+    with pytest.raises(IhexError):
+        ihex_to_bytes(":020000003412B8\n")
+
+
+def test_checksum_verified():
+    with pytest.raises(IhexError):
+        ihex_to_bytes(":020000003412B9\n:00000001FF\n")
+
+
+def test_rejects_garbage():
+    with pytest.raises(IhexError):
+        ihex_to_bytes("hello\n")
+    with pytest.raises(IhexError):
+        ihex_to_bytes(":02zz00003412B8\n:00000001FF\n")
+
+
+@given(st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=300),
+       st.integers(0, 200))
+@settings(max_examples=80, deadline=None)
+def test_roundtrip(words, word_origin):
+    text = words_to_ihex(words, byte_origin=word_origin * 2)
+    runs = ihex_to_words(text)
+    assert len(runs) == 1
+    start, decoded = runs[0]
+    assert start == word_origin
+    assert decoded == words
+
+
+def test_high_addresses_use_segment_records():
+    # Place data beyond the first 64 KB of byte addresses.
+    words = [0xBEEF, 0xCAFE]
+    text = words_to_ihex(words, byte_origin=0x20000)
+    assert ":02000002" in text  # extended segment record present
+    runs = ihex_to_words(text)
+    assert runs == [(0x10000, words)]
+
+
+def test_image_roundtrips_through_hex():
+    source = """
+.bss counter, 2
+main:
+    ldi r16, 9
+loop:
+    dec r16
+    brne loop
+    sts counter, r16
+    break
+"""
+    image = link_image([("app", source)])
+    text = image_to_ihex(image)
+
+    direct = Flash()
+    image.burn(direct)
+    via_hex = Flash()
+    load_ihex_into_flash(text, via_hex)
+
+    start = image.tasks[0].base
+    end = image.trap_region[1]
+    assert direct.as_words(start, end - start) == \
+        via_hex.as_words(start, end - start)

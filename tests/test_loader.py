@@ -1,0 +1,178 @@
+"""Dynamic task loading (the reprogramming OS service)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OutOfMemory
+from repro.kernel import KernelConfig, SensorNode
+from repro.workloads.bintree import search_task_source
+
+SPINNER = """
+main:
+    ldi r26, 0
+    ldi r27, 0
+    ldi r28, 8
+outer:
+inner:
+    adiw r26, 1
+    brne inner
+    dec r28
+    brne outer
+    break
+"""
+
+STACK_USER = """
+.bss cells, 4
+main:
+    ldi r16, 0x5A
+    sts cells, r16
+    push r16
+    ldi r17, 0x66
+    push r17
+    ldi r26, 0
+    ldi r27, 0
+    ldi r28, 8
+outer:
+inner:
+    adiw r26, 1
+    brne inner
+    dec r28
+    brne outer
+    pop r18
+    pop r19
+    lds r20, cells
+    break
+"""
+
+NEW_TASK = """
+.bss hello, 4
+main:
+    ldi r16, 0xCE
+    sts hello, r16
+    lds r17, hello
+    break
+"""
+
+
+def make_node(*sources, slice_cycles=20_000):
+    config = KernelConfig(time_slice_cycles=slice_cycles)
+    return SensorNode.from_sources(list(sources), config=config)
+
+
+def test_load_task_mid_run():
+    node = make_node(("s1", SPINNER), ("s2", SPINNER))
+    kernel = node.kernel
+    node.run(max_cycles=100_000)
+    assert not node.finished
+    report = kernel.load_task("hot", NEW_TASK)
+    assert report.flash_words > 0
+    assert report.total_cycles > 0
+    node.run(max_instructions=30_000_000)
+    assert node.finished
+    hot = node.task_named("hot")
+    assert hot.exit_reason == "exit"
+    assert hot.context.regs[17] == 0xCE
+
+
+def test_compaction_preserves_live_stacks_and_heaps():
+    node = make_node(("u1", STACK_USER), ("u2", STACK_USER))
+    kernel = node.kernel
+    # Run until both tasks have pushed their live data.
+    node.run(max_cycles=120_000)
+    report = kernel.load_task("hot", NEW_TASK)
+    assert report.ram_bytes_moved > 0  # live bytes really moved
+    node.run(max_instructions=30_000_000)
+    assert node.finished
+    for name in ("u1", "u2"):
+        task = node.task_named(name)
+        assert task.exit_reason == "exit"
+        # Pops returned the pushed values, heap read its value.
+        assert task.context.regs[18] == 0x66
+        assert task.context.regs[19] == 0x5A
+        assert task.context.regs[20] == 0x5A
+
+
+def test_loaded_task_gets_logical_isolation():
+    node = make_node(("s1", SPINNER))
+    kernel = node.kernel
+    node.run(max_cycles=50_000)
+    kernel.load_task("a", NEW_TASK)
+    kernel.load_task("b", NEW_TASK.replace("0xCE", "0xDF"))
+    node.run(max_instructions=30_000_000)
+    assert node.finished
+    assert node.task_named("a").context.regs[17] == 0xCE
+    assert node.task_named("b").context.regs[17] == 0xDF
+
+
+def test_loaded_task_can_grow_its_stack():
+    node = make_node(("s1", SPINNER), ("s2", SPINNER))
+    kernel = node.kernel
+    node.run(max_cycles=50_000)
+    kernel.load_task("deep",
+                     search_task_source(nodes=100, searches=5),
+                     min_stack=48)
+    node.run(max_instructions=60_000_000)
+    assert node.finished
+    deep = node.task_named("deep")
+    assert deep.exit_reason == "exit"
+
+
+def test_unload_task_reclaims_region():
+    node = make_node(("s1", SPINNER), ("s2", SPINNER))
+    kernel = node.kernel
+    node.run(max_cycles=50_000)
+    kernel.load_task("hot", NEW_TASK)
+    count_before = len(kernel.regions.regions)
+    kernel.unload_task("s2")
+    assert len(kernel.regions.regions) == count_before - 1
+    assert node.task_named("s2").exit_reason == "unloaded"
+    node.run(max_instructions=30_000_000)
+    assert node.finished
+    assert node.task_named("hot").exit_reason == "exit"
+
+
+def test_unload_unknown_task_raises():
+    node = make_node(("s1", SPINNER))
+    with pytest.raises(KeyError):
+        node.kernel.unload_task("ghost")
+
+
+def test_load_fails_when_memory_exhausted():
+    node = make_node(("s1", SPINNER))
+    kernel = node.kernel
+    huge = """
+.bss big, 3650
+main:
+    break
+"""
+    with pytest.raises(OutOfMemory):
+        kernel.load_task("huge", huge)
+    # The node keeps running after the refused load.
+    node.run(max_instructions=10_000_000)
+    assert node.finished
+    assert node.task_named("s1").exit_reason == "exit"
+
+
+def test_sequential_loads_extend_flash():
+    node = make_node(("s1", SPINNER))
+    kernel = node.kernel
+    first = kernel.loader.flash_cursor
+    kernel.load_task("a", NEW_TASK)
+    second = kernel.loader.flash_cursor
+    kernel.load_task("b", NEW_TASK)
+    third = kernel.loader.flash_cursor
+    assert first < second < third
+    node.run(max_instructions=30_000_000)
+    assert node.finished
+
+
+def test_load_onto_idle_node_revives_scheduler():
+    node = make_node(("quick", "main:\n    ldi r16, 1\n    break\n"))
+    node.run(max_instructions=1_000_000)
+    assert node.finished  # everything exited; node is idle-halted
+    report = node.kernel.load_task("late", NEW_TASK)
+    node.run(max_instructions=10_000_000)
+    assert node.finished
+    assert node.task_named("late").exit_reason == "exit"
+    assert node.task_named("late").context.regs[17] == 0xCE

@@ -1,0 +1,83 @@
+"""Flat profiling and the kernel trap histogram."""
+
+from __future__ import annotations
+
+from repro.analysis.profile import flat_profile, trap_histogram
+from repro.avr import AvrCpu, Flash, assemble
+from repro.kernel import SensorNode
+from repro.rewriter import PatchKind
+
+HOT_LOOP = """
+main:
+    ldi r20, 3
+cold:
+    ldi r16, 200
+hot:
+    dec r16
+    brne hot
+    dec r20
+    brne cold
+    break
+"""
+
+
+def run_profiled(source: str) -> tuple:
+    program = assemble(source)
+    flash = Flash()
+    flash.load(0, program.words)
+    cpu = AvrCpu(flash)
+    cpu.enable_profiling()
+    cpu.run(max_instructions=1_000_000)
+    assert cpu.halted
+    return cpu, program
+
+
+def test_per_pc_counts_are_exact():
+    cpu, program = run_profiled(HOT_LOOP)
+    hot = program.labels["hot"]
+    # DEC at `hot` runs 3 * 200 times.
+    assert cpu.profile[hot] == 600
+    assert cpu.profile[program.labels["main"]] == 1
+    assert sum(cpu.profile) == cpu.instret
+
+
+def test_flat_profile_folds_by_symbol():
+    cpu, program = run_profiled(HOT_LOOP)
+    profile = flat_profile(cpu.profile, program.labels)
+    assert profile.total_executions == cpu.instret
+    # The hot loop dominates.
+    top = profile.symbols[0]
+    assert top.symbol == "hot"
+    assert top.share > 0.9
+    assert profile.share_of("cold") < 0.1
+    assert "hot" in profile.render()
+
+
+def test_profiling_does_not_change_results():
+    program = assemble(HOT_LOOP)
+    flash = Flash()
+    flash.load(0, program.words)
+    plain = AvrCpu(flash)
+    plain.run(max_instructions=1_000_000)
+
+    flash2 = Flash()
+    flash2.load(0, program.words)
+    profiled = AvrCpu(flash2)
+    profiled.enable_profiling()
+    profiled.run(max_instructions=1_000_000)
+
+    assert plain.cycles == profiled.cycles
+    assert plain.instret == profiled.instret
+    assert bytes(plain.r) == bytes(profiled.r)
+
+
+def test_trap_histogram_counts_by_kind():
+    node = SensorNode.from_sources([("loop", HOT_LOOP)])
+    node.run(max_instructions=1_000_000)
+    assert node.finished
+    counts = node.kernel.stats.trap_counts
+    # Two nested backward branches: 600 + 3 executions... plus exit.
+    assert counts[PatchKind.BRANCH_BACKWARD] == 603
+    assert counts[PatchKind.TASK_EXIT] == 1
+    rendered = trap_histogram(node.kernel)
+    assert "branch-back" in rendered

@@ -1,0 +1,148 @@
+"""Property tests for stack relocation: logical contents survive moves."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.avr.memory import DataMemory
+from repro.kernel.config import KernelConfig
+from repro.kernel.regions import RegionTable
+from repro.kernel.relocation import StackRelocator
+from repro.kernel.translation import AddressTranslator
+
+
+def build_world(heaps, stack_usages):
+    """Create regions + memory with recognizable per-task contents.
+
+    Each task's heap bytes are ``(task<<4) | i`` and its used stack
+    bytes are ``0x80 | (task<<4) | i``, so any cross-task corruption is
+    detectable.  Returns (config, memory, table, sps, relocator).
+    """
+    config = KernelConfig()
+    memory = DataMemory()
+    table = RegionTable(config)
+    count = len(heaps)
+    table.allocate_initial(list(heaps), list(range(count)))
+    sps = {}
+    for task_id, usage in enumerate(stack_usages):
+        region = table.by_task(task_id)
+        usage = min(usage, region.stack_size - 2)
+        sps[task_id] = region.p_u - 1 - usage
+        for i in range(region.heap_size):
+            memory.data[region.p_l + i] = ((task_id << 4) | (i & 0xF)) & 0xFF
+        for i in range(usage):
+            memory.data[region.p_u - 1 - i] = \
+                (0x80 | (task_id << 4) | (i & 0xF)) & 0xFF
+    relocator = StackRelocator(config, memory, table,
+                               sp_of=lambda task_id: sps[task_id])
+    def adjust(task_id, delta):
+        sps[task_id] += delta
+    relocator.on_sp_adjust = adjust
+    return config, memory, table, sps, relocator
+
+
+def snapshot_logical(memory, table, sps):
+    """Capture every task's logical view: heap bytes + used stack bytes."""
+    views = {}
+    for region in table.regions:
+        task_id = region.task_id
+        heap = bytes(memory.data[region.p_l:region.p_h])
+        sp = sps[task_id]
+        stack = bytes(memory.data[sp + 1:region.p_u])
+        views[task_id] = (heap, stack)
+    return views
+
+
+@given(
+    heaps=st.lists(st.integers(0, 60), min_size=2, max_size=6),
+    usages=st.lists(st.integers(0, 200), min_size=6, max_size=6),
+    needy=st.integers(0, 5),
+    needed=st.integers(1, 64),
+)
+@settings(max_examples=200, deadline=None)
+def test_relocation_preserves_logical_contents(heaps, usages, needy, needed):
+    count = len(heaps)
+    needy %= count
+    usages = usages[:count]
+    config, memory, table, sps, relocator = build_world(heaps, usages)
+    before = snapshot_logical(memory, table, sps)
+
+    result = relocator.grow_stack(needy, needed)
+
+    table.check_invariants()
+    after = snapshot_logical(memory, table, sps)
+    assert before == after, "relocation corrupted a task's logical memory"
+    if result.moved:
+        region = table.by_task(needy)
+        # The needy stack area actually grew by delta.
+        assert result.delta >= needed
+        # SP stays inside the (possibly moved) region.
+        assert region.p_h <= sps[needy] <= region.p_u - 1
+
+
+@given(
+    heaps=st.lists(st.integers(0, 40), min_size=3, max_size=6),
+    usages=st.lists(st.integers(0, 150), min_size=6, max_size=6),
+    sequence=st.lists(st.tuples(st.integers(0, 5), st.integers(1, 48)),
+                      min_size=1, max_size=8),
+)
+@settings(max_examples=100, deadline=None)
+def test_repeated_relocations_keep_invariants(heaps, usages, sequence):
+    count = len(heaps)
+    usages = usages[:count]
+    config, memory, table, sps, relocator = build_world(heaps, usages)
+    for needy, needed in sequence:
+        needy %= count
+        before = snapshot_logical(memory, table, sps)
+        relocator.grow_stack(needy, needed)
+        table.check_invariants()
+        assert snapshot_logical(memory, table, sps) == before
+
+
+def test_donor_is_the_largest_surplus():
+    config, memory, table, sps, relocator = build_world(
+        heaps=[4, 4, 4], stack_usages=[100, 900, 10])
+    donor = relocator.pick_donor(0)
+    assert donor is not None
+    assert donor.task_id == 2  # least stack usage -> most surplus
+
+
+def test_no_donor_when_everyone_is_full():
+    config, memory, table, sps, relocator = build_world(
+        heaps=[4, 4], stack_usages=[5000, 5000])
+    # Usages were clamped to region size; both stacks are nearly full.
+    result = relocator.grow_stack(0, 64)
+    assert not result.moved
+
+
+def test_relocation_charges_cycles_proportional_to_bytes():
+    config, memory, table, sps, relocator = build_world(
+        heaps=[8, 8, 8], stack_usages=[50, 10, 10])
+    result = relocator.grow_stack(0, 32)
+    assert result.moved
+    from repro.kernel import costs
+    assert result.cycles == costs.STACK_RELOCATION + \
+        costs.RELOCATION_PER_BYTE * result.bytes_moved
+
+
+def test_translator_logical_physical_bijection():
+    config = KernelConfig()
+    table = RegionTable(config)
+    table.allocate_initial([16, 32], [0, 1])
+    translator = AddressTranslator(config)
+    for task_id in (0, 1):
+        region = table.by_task(task_id)
+        seen = set()
+        # Heap addresses.
+        for logical in range(0x100, 0x100 + region.heap_size):
+            physical, _ = translator.to_physical(region, logical, task_id)
+            assert translator.to_logical(region, physical, task_id) == logical
+            seen.add(physical)
+        # Stack-zone addresses.
+        top = config.memory_size
+        for logical in range(top - region.stack_size, top):
+            physical, _ = translator.to_physical(region, logical, task_id)
+            assert translator.to_logical(region, physical, task_id) == logical
+            seen.add(physical)
+        # The valid logical space maps exactly onto the region.
+        assert seen == set(range(region.p_l, region.p_u))

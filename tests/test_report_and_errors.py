@@ -1,0 +1,50 @@
+"""Small units: table rendering and the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro import errors
+
+
+def test_format_table_alignment_and_types():
+    text = format_table(
+        ["name", "count", "ratio", "flag"],
+        [["alpha", 5, 1.5, True], ["b", 12345, 0.25, False]],
+        title="demo")
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1] and "flag" in lines[1]
+    assert set(lines[2]) <= {"-", "+"}
+    assert "yes" in text and "no" in text
+    assert "1.500" in text and "0.250" in text
+    # Columns align: every data row has the same width as the header.
+    assert len(lines[3]) == len(lines[1])
+
+
+def test_format_table_empty_rows():
+    text = format_table(["a"], [])
+    assert "a" in text
+
+
+def test_error_hierarchy():
+    for cls in (errors.EncodingError, errors.AssemblerError,
+                errors.LinkError, errors.SimulationError,
+                errors.RewriteError, errors.KernelError,
+                errors.OutOfMemory):
+        assert issubclass(cls, errors.ReproError)
+    assert issubclass(errors.InvalidInstruction, errors.SimulationError)
+    assert issubclass(errors.MemoryFault, errors.SimulationError)
+    assert issubclass(errors.TaskFault, errors.KernelError)
+
+
+def test_error_messages_carry_context():
+    fault = errors.MemoryFault(0x1234, "write")
+    assert "0x1234" in str(fault) and "write" in str(fault)
+    invalid = errors.InvalidInstruction(0x40, 0xFFFF)
+    assert "0xffff" in str(invalid)
+    task = errors.TaskFault(3, "went rogue")
+    assert "task 3" in str(task) and task.task_id == 3
+    asm = errors.AssemblerError("bad operand", line=7, source="  foo x")
+    assert "line 7" in str(asm)

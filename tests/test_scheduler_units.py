@@ -1,0 +1,109 @@
+"""Component-level tests: scheduler queue, config helpers, context,
+snapshot diagnostics."""
+
+from __future__ import annotations
+
+from repro.kernel import KernelConfig, SensorNode
+from repro.kernel.context import TaskContext
+from repro.kernel.scheduler import RoundRobinScheduler
+from repro.kernel.task import Task, TaskState
+from repro.toolchain import link_image
+from repro.toolchain.image import TaskImage
+
+
+def make_task(task_id: int) -> Task:
+    image = link_image([(f"t{task_id}", "main:\n    break\n")])
+    return Task(task_id=task_id, image=image.tasks[0])
+
+
+def test_ready_queue_is_fifo():
+    scheduler = RoundRobinScheduler(KernelConfig())
+    tasks = [make_task(i) for i in range(3)]
+    for task in tasks:
+        scheduler.enqueue(task)
+    assert scheduler.pick() is tasks[0]
+    assert scheduler.pick() is tasks[1]
+    scheduler.enqueue(tasks[0])
+    assert scheduler.pick() is tasks[2]
+    assert scheduler.pick() is tasks[0]
+    assert scheduler.pick() is None
+
+
+def test_pick_skips_terminated_entries():
+    scheduler = RoundRobinScheduler(KernelConfig())
+    first, second = make_task(0), make_task(1)
+    scheduler.enqueue(first)
+    scheduler.enqueue(second)
+    first.state = TaskState.TERMINATED
+    assert scheduler.pick() is second
+
+
+def test_remove_is_idempotent():
+    scheduler = RoundRobinScheduler(KernelConfig())
+    task = make_task(0)
+    scheduler.enqueue(task)
+    scheduler.remove(task)
+    scheduler.remove(task)  # no error
+    assert scheduler.pick() is None
+
+
+def test_slice_expiry():
+    config = KernelConfig(time_slice_cycles=1000)
+    scheduler = RoundRobinScheduler(config)
+    task = make_task(0)
+    task.slice_start_cycle = 5000
+    assert not scheduler.slice_expired(task, 5999)
+    assert scheduler.slice_expired(task, 6000)
+
+
+def test_config_helpers():
+    config = KernelConfig()
+    assert config.memory_size == 0x1100
+    assert config.app_area.start == 0x100
+    assert config.app_area.stop == 0x1100 - config.kernel_data_bytes
+    assert config.ticks_to_cycles(100) == 800
+    assert config.ms_to_cycles(10) == 73_728
+
+
+def test_context_roundtrip():
+    from repro.avr import AvrCpu, Flash
+    cpu = AvrCpu(Flash())
+    cpu.r[5] = 0x42
+    cpu.pc = 0x123
+    cpu.sreg = 0x81
+    cpu.sp = 0x0ABC
+    context = TaskContext()
+    context.save_from(cpu)
+    cpu.r[5] = 0
+    cpu.pc = 0
+    cpu.sreg = 0
+    cpu.sp = 0
+    context.restore_to(cpu)
+    assert cpu.r[5] == 0x42
+    assert cpu.pc == 0x123
+    assert cpu.sreg == 0x81
+    assert cpu.sp == 0x0ABC
+
+
+def test_kernel_snapshot_shape():
+    spinner = """
+main:
+    ldi r16, 50
+loop:
+    dec r16
+    brne loop
+    break
+"""
+    node = SensorNode.from_sources([("a", spinner), ("b", spinner)])
+    node.kernel.boot()
+    snap = node.kernel.snapshot()
+    assert snap["current"] == 0
+    assert set(snap["tasks"]) == {0, 1}
+    assert snap["tasks"][0]["state"] == "running"
+    assert snap["tasks"][1]["state"] == "ready"
+    assert snap["tasks"][0]["region"]["stack"] > 0
+    node.run(max_instructions=1_000_000)
+    snap = node.kernel.snapshot()
+    assert all(t["state"] == "terminated"
+               for t in snap["tasks"].values())
+    assert snap["tasks"][0]["region"] is None

@@ -1,0 +1,227 @@
+"""Workload programs: native correctness and SenSmart equivalence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.native import run_native
+from repro.kernel import SensorNode
+from repro.workloads.bintree import feeder_source, search_task_source
+from repro.workloads.kernelbench import KERNEL_BENCHMARKS
+from repro.workloads.periodic import (periodic_native_source,
+                                      periodic_sensmart_source)
+
+
+def run_sensmart_single(source: str, name: str = "app",
+                        max_instructions: int = 10_000_000):
+    """Run one program under SenSmart; returns (node, heap_reader)."""
+    node = SensorNode.from_sources([(name, source)])
+    kernel = node.kernel
+    heap_base = kernel.regions.by_task(0).p_l
+    node.run(max_instructions=max_instructions)
+    return node, lambda offset: kernel.cpu.mem.data[heap_base + offset]
+
+
+# -- native correctness -------------------------------------------------------
+
+def test_am_transmits_packets():
+    result = run_native(KERNEL_BENCHMARKS["am"](packets=3))
+    assert result.finished
+    radio = result.devices["radio"]
+    assert len(radio.transmitted) == 3 * 36
+    packet = radio.transmitted[:36]
+    assert packet[0] == packet[1] == 0xFF     # broadcast dest
+    assert packet[2] == 0x06                  # AM type
+    assert packet[4] == 29                    # payload length
+    checksum = packet[5] | (packet[6] << 8)
+    assert checksum == sum(packet[7:36])
+
+
+def test_amplitude_sees_signal_swing():
+    result = run_native(KERNEL_BENCHMARKS["amplitude"](samples=32))
+    assert result.finished
+    amplitude = result.heap_byte(0) | (result.heap_byte(1) << 8)
+    assert 100 < amplitude < 1024  # triangle swing + noise
+
+
+def test_crc_matches_reference():
+    result = run_native(KERNEL_BENCHMARKS["crc"](rounds=1))
+    assert result.finished
+    measured = result.heap_byte(32) | (result.heap_byte(33) << 8)
+    # Reference CRC-16-CCITT over the same pattern.
+    crc, value = 0xFFFF, 0xA5
+    for _ in range(32):
+        crc ^= value << 8
+        for _ in range(8):
+            crc = ((crc << 1) ^ 0x1021) & 0xFFFF if crc & 0x8000 \
+                else (crc << 1) & 0xFFFF
+        value = (value - 0x33) & 0xFF
+    assert measured == crc
+
+
+def test_eventchain_runs_every_handler():
+    result = run_native(KERNEL_BENCHMARKS["eventchain"](rounds=5))
+    assert result.finished
+    assert [result.heap_byte(i) for i in range(4)] == [5, 5, 5, 5]
+
+
+def test_lfsr_matches_reference():
+    result = run_native(KERNEL_BENCHMARKS["lfsr"](steps=1000))
+    assert result.finished
+    lfsr = 0xACE1
+    for _ in range(1000):
+        lsb = lfsr & 1
+        lfsr >>= 1
+        if lsb:
+            lfsr ^= 0xB400
+    assert result.heap_byte(0) | (result.heap_byte(1) << 8) == lfsr
+
+
+def test_readadc_counts_samples():
+    result = run_native(KERNEL_BENCHMARKS["readadc"](samples=20))
+    assert result.finished
+    assert result.heap_byte(16) == 20
+
+
+def test_timer_counts_ticks():
+    result = run_native(KERNEL_BENCHMARKS["timer"](ticks=32))
+    assert result.finished
+    assert result.heap_byte(0) | (result.heap_byte(1) << 8) == 32
+
+
+# -- SenSmart equivalence: same observable results as native -------------------
+
+@pytest.mark.parametrize("name", sorted(KERNEL_BENCHMARKS))
+def test_benchmark_equivalent_under_sensmart(name):
+    source = KERNEL_BENCHMARKS[name]()
+    native = run_native(source)
+    node, heap = run_sensmart_single(source, name)
+    assert node.finished
+    assert node.task_named(name).exit_reason == "exit"
+    if name == "am":
+        assert node.radio.transmitted == \
+            native.devices["radio"].transmitted
+    elif name == "amplitude":
+        assert heap(0) | (heap(1) << 8) == \
+            native.heap_byte(0) | (native.heap_byte(1) << 8)
+    elif name == "crc":
+        assert heap(32) | (heap(33) << 8) == \
+            native.heap_byte(32) | (native.heap_byte(33) << 8)
+    elif name == "eventchain":
+        assert [heap(i) for i in range(4)] == \
+            [native.heap_byte(i) for i in range(4)]
+    elif name == "lfsr":
+        assert heap(0) | (heap(1) << 8) == \
+            native.heap_byte(0) | (native.heap_byte(1) << 8)
+    elif name == "readadc":
+        assert heap(16) == native.heap_byte(16)
+    elif name == "timer":
+        assert heap(0) | (heap(1) << 8) == \
+            native.heap_byte(0) | (native.heap_byte(1) << 8)
+
+
+def test_sensmart_slower_but_same_order():
+    """Overhead exists but stays within an order of magnitude (Fig. 5)."""
+    source = KERNEL_BENCHMARKS["crc"](rounds=2)
+    native = run_native(source)
+    node, _ = run_sensmart_single(source, "crc")
+    ratio = node.cpu.cycles / native.cycles
+    assert 1.0 < ratio < 10.0
+
+
+# -- PeriodicTask ------------------------------------------------------------------
+
+def test_periodic_native_completes_all_activations():
+    result = run_native(periodic_native_source(500, 10),
+                        max_instructions=10_000_000)
+    assert result.finished
+    assert result.heap_byte(0) == 10
+    # Ten 2048-tick periods at prescaler 8.
+    assert result.cycles >= 10 * 2048 * 8 * 0.9
+
+
+def test_periodic_sensmart_completes_all_activations():
+    node, heap = run_sensmart_single(
+        periodic_sensmart_source(500, 10), "periodic")
+    assert node.finished
+    assert heap(0) == 10
+    assert node.kernel.stats.idle_cycles > 0  # slept between events
+
+
+def test_periodic_utilization_grows_with_computation():
+    def utilization(compute):
+        node, _ = run_sensmart_single(
+            periodic_sensmart_source(compute, 10), "periodic",
+            max_instructions=30_000_000)
+        assert node.finished
+        return node.kernel.stats.utilization(node.cpu.cycles)
+    low = utilization(200)
+    high = utilization(8000)
+    assert high > low
+
+
+# -- binary-tree workload -------------------------------------------------------------
+
+def test_search_task_recursion_depth_matches_paper():
+    """~15 bytes per level; 60-node trees reach ~13 levels (paper: 12-15)."""
+    node = SensorNode.from_sources(
+        [("s", search_task_source(nodes=60, searches=15))])
+    kernel = node.kernel
+    region = kernel.regions.by_task(0)
+    deepest = [region.p_u]
+
+    original = kernel.ensure_stack_room
+    def probe(need):
+        deepest[0] = min(deepest[0], kernel.cpu.sp)
+        return original(need)
+    kernel.ensure_stack_room = probe
+
+    node.run(max_instructions=30_000_000)
+    assert node.finished
+    max_stack = region.p_u - deepest[0]
+    levels = max_stack / 15
+    assert 8 <= levels <= 16
+
+
+def test_bigger_trees_recurse_deeper():
+    def max_stack(nodes):
+        node = SensorNode.from_sources(
+            [("s", search_task_source(nodes=nodes, searches=15))])
+        kernel = node.kernel
+        region = kernel.regions.by_task(0)
+        deepest = [region.p_u]
+        original = kernel.ensure_stack_room
+        def probe(need):
+            deepest[0] = min(deepest[0], kernel.cpu.sp)
+            return original(need)
+        kernel.ensure_stack_room = probe
+        node.run(max_instructions=30_000_000)
+        assert node.finished
+        return region.p_u - deepest[0]
+    assert max_stack(80) > max_stack(10)
+
+
+def test_feeder_plus_searchers_coexist():
+    sources = [("feeder", feeder_source(nodes_per_tree=10, trees=6,
+                                        updates=8))]
+    for index in range(2):
+        sources.append((f"search{index}",
+                        search_task_source(nodes=30, searches=8,
+                                           seed=0x1111 * (index + 1))))
+    node = SensorNode.from_sources(sources)
+    node.run(max_instructions=50_000_000)
+    assert node.finished
+    assert all(t.exit_reason == "exit"
+               for t in node.kernel.tasks.values())
+
+
+def test_search_tasks_with_different_seeds_diverge():
+    node = SensorNode.from_sources(
+        [("a", search_task_source(nodes=40, searches=5, seed=0x1111)),
+         ("b", search_task_source(nodes=40, searches=5, seed=0x2222))])
+    kernel = node.kernel
+    region_a = kernel.regions.by_task(0)
+    region_b = kernel.regions.by_task(1)
+    heap_a = bytes(kernel.cpu.mem.data[region_a.p_l:region_a.p_l + 60])
+    node.run(max_instructions=50_000_000)
+    assert node.finished
