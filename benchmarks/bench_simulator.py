@@ -31,7 +31,9 @@ def test_native_interpreter_speed(benchmark):
     instructions = benchmark(run)
     rate = instructions / benchmark.stats["mean"]
     print(f"\nnative interpreter: {rate / 1e6:.2f} M simulated instr/s")
-    assert rate > 200_000  # generous floor: sweeps stay tractable
+    # Floor sits above what per-instruction dispatch can reach (~1.5M
+    # instr/s), so a superblock-fusion regression fails loudly.
+    assert rate > 2_000_000
 
 
 def test_kernelized_interpreter_speed(benchmark):
@@ -44,4 +46,4 @@ def test_kernelized_interpreter_speed(benchmark):
     instructions = benchmark.pedantic(run, rounds=3, iterations=1)
     rate = instructions / benchmark.stats["mean"]
     print(f"\nunder SenSmart: {rate / 1e6:.2f} M simulated instr/s")
-    assert rate > 50_000
+    assert rate > 400_000  # fused trap-region dispatch; was 50k pre-fusion

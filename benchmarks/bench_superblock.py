@@ -1,0 +1,94 @@
+"""Superblock ablation: fused vs per-instruction dispatch rates.
+
+Runs the SPIN workload natively and under the kernel in both execution
+modes, asserts the two modes retire identical instruction counts, and
+records the measured rates in ``BENCH_interpreter.json`` at the repo
+root so successive runs leave a machine-readable trace of the win.
+"""
+
+import json
+from pathlib import Path
+
+from repro.avr import AvrCpu, Flash, assemble
+from repro.kernel import SensorNode
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / \
+    "BENCH_interpreter.json"
+
+SPIN = """
+main:
+    ldi r26, 0
+    ldi r27, 0
+    ldi r28, 8
+outer:
+inner:
+    adiw r26, 1
+    brne inner
+    dec r28
+    brne outer
+    break
+"""
+
+
+def _record(key: str, rate: float) -> None:
+    data = {}
+    if RESULTS_PATH.exists():
+        data = json.loads(RESULTS_PATH.read_text())
+    data[key] = round(rate)
+    RESULTS_PATH.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _native(fuse: bool):
+    program = assemble(SPIN)
+
+    def run():
+        flash = Flash()
+        flash.load(0, program.words)
+        cpu = AvrCpu(flash, fuse=fuse)
+        cpu.run()
+        return cpu.instret
+
+    return run
+
+
+def _kernelized(fuse: bool):
+    def run():
+        node = SensorNode.from_sources([("spin", SPIN)], fuse=fuse)
+        node.run(max_instructions=10_000_000)
+        assert node.finished
+        return node.cpu.instret
+
+    return run
+
+
+def _rate(benchmark, run, rounds: int = 3) -> float:
+    instructions = benchmark.pedantic(run, rounds=rounds, iterations=1)
+    return instructions / benchmark.stats["mean"]
+
+
+def test_native_fused(benchmark):
+    rate = _rate(benchmark, _native(fuse=True))
+    print(f"\nnative, fused: {rate / 1e6:.2f} M instr/s")
+    _record("native_fused", rate)
+
+
+def test_native_stepwise(benchmark):
+    rate = _rate(benchmark, _native(fuse=False))
+    print(f"\nnative, per-instruction: {rate / 1e6:.2f} M instr/s")
+    _record("native_stepwise", rate)
+    # Both modes retire the same instruction stream.
+    assert _native(fuse=True)() == _native(fuse=False)()
+
+
+def test_kernelized_fused(benchmark):
+    rate = _rate(benchmark, _kernelized(fuse=True))
+    print(f"\nkernelized, fused: {rate / 1e6:.2f} M instr/s")
+    _record("kernelized_fused", rate)
+
+
+def test_kernelized_stepwise(benchmark):
+    rate = _rate(benchmark, _kernelized(fuse=False))
+    print(f"\nkernelized, per-instruction: {rate / 1e6:.2f} M instr/s")
+    _record("kernelized_stepwise", rate)
+    assert _kernelized(fuse=True)() == _kernelized(fuse=False)()

@@ -4,21 +4,36 @@ The interpreter pre-decodes flash words into Python closures the first
 time each address executes (flash is immutable during execution, paper
 assumption III-A), so the hot loop is a dictionary-free closure call.
 
+On top of the per-instruction thunks the CPU supports *superblock
+fusion* (``fuse=True``, the default): straight-line instruction runs are
+compiled — at first execution, with ``exec`` — into a single Python
+closure that executes the whole run with one dispatch, accumulates
+``cycles``/``instret`` once, and returns to the run loop only at block
+boundaries.  A block ends at (and includes) the first instruction with
+control-flow, stack-pointer, I/O-port, or interrupt-flag side effects,
+or ends *before* a trap-region word.  Interrupts, device alarms, run
+limits and ``until()`` are re-checked at block boundaries; exact
+``max_cycles``/``max_instructions`` stop semantics are preserved by
+falling back to single-instruction stepping when a block could cross a
+limit.
+
 Two integration points exist for the SenSmart kernel:
 
 * a *trap region* of flash word addresses: a ``JMP``/``CALL`` whose target
   lies inside the region — or the PC landing there directly — invokes the
   registered trap handler instead of executing machine code.  SenSmart's
   trampolines live there;
-* *devices* registered with the CPU are serviced between instructions and
-  can raise interrupts or wake the CPU from sleep.
+* *devices* registered with the CPU are serviced between instructions
+  (between superblocks when fusing) and can raise interrupts or wake
+  the CPU from sleep.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
 
-from ..errors import InvalidInstruction, SimulationError
+from ..errors import InvalidInstruction, MemoryFault, SimulationError
 from . import ioports
 from .encoding import EncodingError, decode
 from .instruction import Instruction
@@ -78,14 +93,122 @@ def _flags_logic(res: int) -> int:
     return f
 
 
+#: Member cap per superblock: bounds how far the exact-stop fallback
+#: (see :meth:`AvrCpu.run`) may have to single-step near a limit.
+_MAX_BLOCK = 48
+
+
+# -- precomputed SREG tables for fused code ------------------------------------
+#
+# Superblock members replace the branchy flag computations of the
+# per-instruction closures with one table index.  Every table is built
+# from the same _flags_* helpers the closures use, so the two execution
+# modes cannot disagree.  The 64K add/sub tables are built lazily on the
+# first fused ADD/SUB; the 256-entry tables are cheap enough to build at
+# import.
+
+def _inc_dec_flags(res: int, overflow_at: int) -> int:
+    f = 0
+    if res == 0:
+        f |= Z
+    if res & 0x80:
+        f |= N
+    if res == overflow_at:
+        f |= V
+    if ((f >> 2) ^ (f >> 3)) & 1:
+        f |= S
+    return f
+
+
+def _shift_flags(res: int, carry_out: int) -> int:
+    f = carry_out
+    if res == 0:
+        f |= Z
+    if res & 0x80:
+        f |= N
+    if bool(f & N) != bool(carry_out):  # V = N xor C
+        f |= V
+    if ((f >> 2) ^ (f >> 3)) & 1:
+        f |= S
+    return f
+
+
+def _neg_flags(a: int) -> int:
+    res = (-a) & 0xFF
+    f = C if res != 0 else Z
+    if res & 0x80:
+        f |= N
+    if res == 0x80:
+        f |= V
+    if ((f >> 2) ^ (f >> 3)) & 1:
+        f |= S
+    if (res | a) & 0x08:
+        f |= H
+    return f
+
+
+_LOGIC_TABLE = [_flags_logic(res) for res in range(256)]
+_INC_TABLE = [_inc_dec_flags(res, 0x80) for res in range(256)]
+_DEC_TABLE = [_inc_dec_flags(res, 0x7F) for res in range(256)]
+_LSR_TABLE = [_shift_flags(a >> 1, a & 1) for a in range(256)]
+_ASR_TABLE = [_shift_flags((a >> 1) | (a & 0x80), a & 1) for a in range(256)]
+_ROR_TABLES = tuple(
+    [_shift_flags((a >> 1) | (cin << 7), a & 1) for a in range(256)]
+    for cin in (0, 1))
+_NEG_TABLE = [_neg_flags(a) for a in range(256)]
+
+_ADD_TABLES: List[Optional[List[int]]] = [None, None]
+_SUB_TABLES: List[Optional[List[int]]] = [None, None]
+_SUB_ROWS: dict = {}
+
+
+def _add_table(cin: int) -> List[int]:
+    """64K table: flags of ``a + b + cin`` indexed by ``(a << 8) | b``."""
+    table = _ADD_TABLES[cin]
+    if table is None:
+        table = [0] * 65536
+        for a in range(256):
+            base = a << 8
+            for b in range(256):
+                table[base | b] = _flags_add(a, b, cin,
+                                             (a + b + cin) & 0xFF)
+        _ADD_TABLES[cin] = table
+    return table
+
+
+def _sub_table(cin: int) -> List[int]:
+    """64K table: flags of ``a - b - cin`` indexed by ``(a << 8) | b``."""
+    table = _SUB_TABLES[cin]
+    if table is None:
+        table = [0] * 65536
+        for a in range(256):
+            base = a << 8
+            for b in range(256):
+                table[base | b] = _flags_sub(a, b, cin,
+                                             (a - b - cin) & 0xFF)
+        _SUB_TABLES[cin] = table
+    return table
+
+
+def _sub_row(k: int, cin: int) -> List[int]:
+    """256-entry table: flags of ``a - k - cin`` for a constant *k*."""
+    row = _SUB_ROWS.get((k, cin))
+    if row is None:
+        row = [_flags_sub(a, k, cin, (a - k - cin) & 0xFF)
+               for a in range(256)]
+        _SUB_ROWS[(k, cin)] = row
+    return row
+
+
 class AvrCpu:
     """The simulated ATmega128L core."""
 
     def __init__(self, flash: Flash, memory: Optional[DataMemory] = None,
-                 clock_hz: int = 7_372_800):
+                 clock_hz: int = 7_372_800, fuse: bool = True):
         self.flash = flash
         self.mem = memory if memory is not None else DataMemory()
         self.clock_hz = clock_hz
+        self.fuse = fuse
         self.r = bytearray(32)
         self.pc = 0
         self.sp = ioports.RAM_END
@@ -97,14 +220,25 @@ class AvrCpu:
         self.halted = False
         self._exec: List[Optional[Callable[[], None]]] = \
             [None] * flash.size_words
+        #: Superblock cache: pc -> (closure, instructions, member cycles).
+        self._blocks: List[Optional[Tuple]] = [None] * flash.size_words
         self._devices: List = []
-        self._pending_irqs: List[int] = []
+        self._pending_irqs: Deque[int] = deque()
         self.device_alarm = float("inf")
         self._trap_ranges: List = []  # [(lo, hi)] word-address ranges
         self._trap_lo = -1  # envelope for the hot-path check
         self._trap_hi = -1
         self._trap_handler: Optional[Callable] = None
+        self._trap_thunk_factory: Optional[Callable] = None
+        # Run limits as seen by self-looping superblocks; _run_fused
+        # refreshes them on every run() call.
+        self._run_mc = float("inf")
+        self._run_mi = float("inf")
+        self._run_until: Optional[Callable] = None
         self.profile: Optional[List[int]] = None  # per-PC hit counts
+        # Any later re-burn of flash (dynamic loading) must drop decoded
+        # thunks and fused blocks, even if the burner forgets to ask.
+        flash.add_burn_listener(self.invalidate_decode)
 
     # -- configuration --------------------------------------------------------
 
@@ -113,26 +247,33 @@ class AvrCpu:
         self._devices.append(device)
         device.attach(self)
 
-    def set_trap_region(self, lo: int, hi: int, handler) -> None:
+    def set_trap_region(self, lo: int, hi: int, handler,
+                        thunk_factory: Optional[Callable] = None) -> None:
         """Route execution entering flash words [*lo*, *hi*) to *handler*.
 
         ``handler(cpu, site, target, is_call)`` receives the word address of
         the patched site (``-1`` if the PC landed in the region without a
         patched ``JMP/CALL``, e.g. through ``IJMP``), the trampoline word
         address, and whether the site used ``CALL`` semantics.
+
+        ``thunk_factory(cpu, site, target, is_call)``, when given, may
+        return a specialized closure for a patched site, resolved once at
+        decode time (the kernel uses this to pre-bind its dispatch);
+        returning ``None`` falls back to calling *handler*.
         """
         self._trap_ranges = [(lo, hi)]
         self._trap_handler = handler
+        self._trap_thunk_factory = thunk_factory
         self._update_trap_envelope()
-        # Invalidate decoded thunks: targets may now trap.
-        self._exec = [None] * self.flash.size_words
+        # Invalidate decoded thunks and fused blocks: targets may now trap.
+        self.invalidate_decode()
 
     def add_trap_region(self, lo: int, hi: int) -> None:
         """Add another trapped range (dynamic task loading appends new
         trampoline regions after the original image)."""
         self._trap_ranges.append((lo, hi))
         self._update_trap_envelope()
-        self._exec = [None] * self.flash.size_words
+        self.invalidate_decode()
 
     def _update_trap_envelope(self) -> None:
         if self._trap_ranges:
@@ -147,8 +288,14 @@ class AvrCpu:
         return any(lo <= address < hi for lo, hi in self._trap_ranges)
 
     def invalidate_decode(self) -> None:
-        """Drop decoded closures (call after re-burning flash)."""
-        self._exec = [None] * self.flash.size_words
+        """Drop decoded closures and fused blocks (after re-burning flash).
+
+        Clears the caches *in place*: the run loop keeps direct references
+        to them, and a trap handler may invalidate mid-run (dynamic task
+        loading re-burns flash and appends trap regions).
+        """
+        self._exec[:] = [None] * self.flash.size_words
+        self._blocks[:] = [None] * self.flash.size_words
 
     def enable_profiling(self) -> None:
         """Count executions per PC (Avrora-style flat profile).
@@ -227,7 +374,7 @@ class AvrCpu:
     def step(self) -> None:
         """Execute exactly one instruction (or service one interrupt)."""
         if self._pending_irqs and (self.sreg & I):
-            self._enter_interrupt(self._pending_irqs.pop(0))
+            self._enter_interrupt(self._pending_irqs.popleft())
             return
         pc = self.pc
         if self._trap_lo <= pc < self._trap_hi and \
@@ -245,6 +392,18 @@ class AvrCpu:
             max_instructions: Optional[int] = None,
             until: Optional[Callable[["AvrCpu"], bool]] = None) -> None:
         """Run until halted, a limit is reached, or *until(cpu)* is true."""
+        # An alarm already due (armed between runs, or carried over a
+        # limit stop) is serviced before the first dispatch, so a raised
+        # interrupt is taken before any further instruction executes.
+        if self.cycles >= self.device_alarm and not self.halted:
+            self._service_devices()
+        if self.fuse:
+            self._run_fused(max_cycles, max_instructions, until)
+        else:
+            self._run_stepwise(max_cycles, max_instructions, until)
+
+    def _run_stepwise(self, max_cycles, max_instructions, until) -> None:
+        """Per-instruction dispatch: limits and devices checked each step."""
         while not self.halted:
             if self.sleeping:
                 if not self._advance_to_next_event(max_cycles):
@@ -257,6 +416,51 @@ class AvrCpu:
                 return
             if max_instructions is not None and \
                     self.instret >= max_instructions:
+                return
+            if until is not None and until(self):
+                return
+
+    def _run_fused(self, max_cycles, max_instructions, until) -> None:
+        """Superblock dispatch: one closure call per straight-line run.
+
+        Interrupts, device alarms, limits and ``until()`` are checked
+        once per block.  A block that could cross ``max_cycles`` or
+        ``max_instructions`` is not dispatched; the loop single-steps
+        instead, so the stop point is bit-identical to stepwise mode.
+        """
+        blocks = self._blocks  # cleared in place by invalidate_decode
+        irqs = self._pending_irqs
+        mc = float("inf") if max_cycles is None else max_cycles
+        mi = float("inf") if max_instructions is None else max_instructions
+        # Published for self-looping blocks (see _self_loop_body).
+        self._run_mc = mc
+        self._run_mi = mi
+        self._run_until = until
+        while not self.halted:
+            if self.sleeping:
+                if not self._advance_to_next_event(max_cycles):
+                    return
+                continue
+            if irqs and (self.sreg & I):
+                self._enter_interrupt(irqs.popleft())
+            else:
+                pc = self.pc
+                if self._trap_lo <= pc < self._trap_hi and \
+                        self.in_trap_region(pc):
+                    self._trap_handler(self, -1, pc, False)
+                    self.instret += 1
+                else:
+                    entry = blocks[pc]
+                    if entry is None:
+                        entry = self._fuse_block(pc)
+                    if self.instret + entry[1] > mi or \
+                            self.cycles + entry[2] >= mc:
+                        self.step()  # exact-stop epilogue: finish stepwise
+                    else:
+                        entry[0]()
+            if self.cycles >= self.device_alarm:
+                self._service_devices()
+            if self.cycles >= mc or self.instret >= mi:
                 return
             if until is not None and until(self):
                 return
@@ -322,6 +526,438 @@ class AvrCpu:
         """(extra cycles, new pc) when skipping the instruction at *after*."""
         size = self.flash.instruction_size(after)
         return size, after + size
+
+    # -- superblock fusion --------------------------------------------------------
+
+    def _fuse_block(self, pc: int) -> Tuple[Callable[[], None], int, int]:
+        """Fuse the straight-line run starting at *pc* into one closure.
+
+        Members are emitted as inline Python source and compiled with
+        ``exec``; the terminating instruction (control flow / SP / I/O /
+        interrupt-flag side effects) executes through its normal thunk —
+        or is inlined too for the hot unconditional/conditional branches.
+        Cycle accumulation order matches stepwise execution exactly:
+        member cycles land on the clock *before* the terminator runs, so
+        terminators (and trap handlers) observe identical ``cpu.cycles``.
+
+        Returns and caches ``(closure, instruction_count, member_cycles)``.
+        """
+        namespace = {
+            "cpu": self, "r": self.r, "mem": self.mem.data,
+            "flash": self.flash, "profile": self.profile,
+            "lf": _LOGIC_TABLE, "incf": _INC_TABLE, "decf": _DEC_TABLE,
+            "lsrf": _LSR_TABLE, "asrf": _ASR_TABLE, "negf": _NEG_TABLE,
+            "rorf0": _ROR_TABLES[0], "rorf1": _ROR_TABLES[1],
+        }
+        lines: List[str] = []
+        member_addrs: List[int] = []
+        cost = 0
+        uses_sreg = False
+        cur = pc
+        term = None
+        term_ins = None
+        while len(member_addrs) < _MAX_BLOCK:
+            if self.in_trap_region(cur):
+                break  # never fuse across a trap-region boundary
+            if cur == pc:
+                # First instruction: decode errors surface exactly as in
+                # stepwise execution (and the thunk doubles as fallback).
+                ins = self._decode_instruction(pc)
+            else:
+                try:
+                    ins = self._decode_instruction(cur)
+                except (InvalidInstruction, MemoryFault):
+                    break  # stop fusing; raise only if actually reached
+            member = self._member_src(ins, namespace, len(member_addrs))
+            if member is None:
+                term = self._exec[cur]
+                if term is None:
+                    term = self._decode_at(cur)
+                term_ins = ins
+                break
+            src, cycles, touches_sreg = member
+            lines.extend(src)
+            member_addrs.append(cur)
+            cost += cycles
+            uses_sreg = uses_sreg or touches_sreg
+            cur = ins.next_address
+
+        count = len(member_addrs)
+        body: Optional[List[str]] = None
+        if term_ins is not None and self.profile is None:
+            body = self._self_loop_body(term_ins, lines, cost, count,
+                                        uses_sreg, pc)
+            if body is not None:
+                icount = count + 1
+        if body is None:
+            body = []
+            if uses_sreg:
+                body.append("sr = cpu.sreg")
+            body.extend(lines)
+            if self.profile is not None:
+                for address in member_addrs:
+                    body.append(f"profile[{address}] += 1")
+            if uses_sreg:
+                body.append("cpu.sreg = sr")
+            inline_term = None
+            if term_ins is not None and self.profile is None:
+                inline_term = self._inline_term_src(term_ins, cost, count,
+                                                    uses_sreg)
+            if inline_term is not None:
+                body.extend(inline_term)
+                icount = count + 1
+            elif term is not None:
+                if cost:
+                    body.append(f"cpu.cycles += {cost}")
+                if count:
+                    body.append(f"cpu.instret += {count}")
+                body.append("t()")
+                body.append("cpu.instret += 1")
+                icount = count + 1
+            else:
+                # Block stopped before a trap region / undecodable word /
+                # the member cap: leave pc on the next unexecuted word.
+                body.append(f"cpu.pc = {cur}")
+                if cost:
+                    body.append(f"cpu.cycles += {cost}")
+                body.append(f"cpu.instret += {count}")
+                icount = count
+        namespace["t"] = term
+        source = "def _blk():\n" + "\n".join(
+            "    " + line for line in body)
+        exec(compile(source, f"<superblock@{pc:#06x}>", "exec"), namespace)
+        entry = (namespace["_blk"], icount, cost)
+        self._blocks[pc] = entry
+        return entry
+
+    def _decode_instruction(self, pc: int) -> Instruction:
+        word = self.flash.word(pc)
+        next_word = self.flash.word(pc + 1) \
+            if pc + 1 < self.flash.size_words else None
+        try:
+            return decode(word, next_word, pc)
+        except EncodingError:
+            raise InvalidInstruction(pc, word) from None
+
+    def _member_src(self, ins: Instruction, ns: dict, uid: int):
+        """Inline source for a fusible instruction, or None.
+
+        Returns ``(lines, cycles, touches_sreg)``.  Fusible means: fixed
+        cycle cost, sequential control flow, and no side effects outside
+        registers, SREG (I excluded), and static SRAM — anything that
+        touches SP, an I/O port, the I flag, or a dynamic address stays
+        a block terminator so device hooks and interrupt delivery keep
+        instruction-boundary semantics.  Member templates compute the
+        exact SREG bits of the closures in :meth:`_build` — mostly via
+        the precomputed flag tables — and keep the status register in
+        the block-local ``sr``.  Site-specific tables are bound into
+        *ns* under names derived from *uid*.
+        """
+        m = ins.mnemonic
+        ops = ins.operands
+        if m in ("ADD", "ADC"):
+            d, rr = ops
+            ns[f"t{uid}"] = _add_table(0)
+            if m == "ADD":
+                return ([f"a = r[{d}]; b = r[{rr}]",
+                         f"r[{d}] = (a + b) & 0xFF",
+                         f"sr = (sr & ~{_ARITH}) | t{uid}[(a << 8) | b]"],
+                        1, True)
+            ns[f"u{uid}"] = _add_table(1)
+            return ([f"a = r[{d}]; b = r[{rr}]; cin = sr & 1",
+                     f"r[{d}] = (a + b + cin) & 0xFF",
+                     f"sr = (sr & ~{_ARITH}) | "
+                     f"(u{uid} if cin else t{uid})[(a << 8) | b]"],
+                    1, True)
+        if m in ("SUB", "CP"):
+            d, rr = ops
+            ns[f"t{uid}"] = _sub_table(0)
+            lines = [f"a = r[{d}]; b = r[{rr}]"]
+            if m == "SUB":
+                lines.append(f"r[{d}] = (a - b) & 0xFF")
+            lines.append(f"sr = (sr & ~{_ARITH}) | t{uid}[(a << 8) | b]")
+            return (lines, 1, True)
+        if m in ("SBC", "CPC"):
+            d, rr = ops
+            ns[f"t{uid}"] = _sub_table(0)
+            ns[f"u{uid}"] = _sub_table(1)
+            lines = [f"a = r[{d}]; b = r[{rr}]; cin = sr & 1"]
+            if m == "SBC":
+                lines.append(f"r[{d}] = (a - b - cin) & 0xFF")
+            # Z only survives if it was already set.
+            lines += [f"f = (u{uid} if cin else t{uid})[(a << 8) | b]",
+                      f"sr = (sr & ~{_ARITH}) | (f & ~{Z}) | "
+                      f"(f & {Z} & sr)"]
+            return (lines, 1, True)
+        if m in ("AND", "OR", "EOR"):
+            d, rr = ops
+            op = {"AND": "&", "OR": "|", "EOR": "^"}[m]
+            return ([f"res = r[{d}] {op} r[{rr}]",
+                     f"r[{d}] = res",
+                     f"sr = (sr & ~{_LOGIC}) | lf[res]"],
+                    1, True)
+        if m == "MOV":
+            d, rr = ops
+            return ([f"r[{d}] = r[{rr}]"], 1, False)
+        if m == "MOVW":
+            d, rr = ops
+            return ([f"r[{d}] = r[{rr}]", f"r[{d + 1}] = r[{rr + 1}]"],
+                    1, False)
+        if m == "MUL":
+            d, rr = ops
+            return ([f"res = r[{d}] * r[{rr}]",
+                     "r[0] = res & 0xFF",
+                     "r[1] = (res >> 8) & 0xFF",
+                     f"f = {C} if res & 0x8000 else 0",
+                     f"if res == 0: f |= {Z}",
+                     f"sr = (sr & ~{C | Z}) | f"],
+                    2, True)
+        if m in ("SUBI", "CPI"):
+            d, k = ops
+            ns[f"t{uid}"] = _sub_row(k, 0)
+            lines = [f"a = r[{d}]"]
+            if m == "SUBI":
+                lines.append(f"r[{d}] = (a - {k}) & 0xFF")
+            lines.append(f"sr = (sr & ~{_ARITH}) | t{uid}[a]")
+            return (lines, 1, True)
+        if m == "SBCI":
+            d, k = ops
+            ns[f"t{uid}"] = _sub_row(k, 0)
+            ns[f"u{uid}"] = _sub_row(k, 1)
+            return ([f"a = r[{d}]; cin = sr & 1",
+                     f"r[{d}] = (a - {k} - cin) & 0xFF",
+                     f"f = (u{uid} if cin else t{uid})[a]",
+                     f"sr = (sr & ~{_ARITH}) | (f & ~{Z}) | "
+                     f"(f & {Z} & sr)"],
+                    1, True)
+        if m in ("ANDI", "ORI"):
+            d, k = ops
+            op = "&" if m == "ANDI" else "|"
+            return ([f"res = r[{d}] {op} {k}",
+                     f"r[{d}] = res",
+                     f"sr = (sr & ~{_LOGIC}) | lf[res]"],
+                    1, True)
+        if m == "LDI":
+            d, k = ops
+            return ([f"r[{d}] = {k}"], 1, False)
+        if m in ("ADIW", "SBIW"):
+            d, k = ops
+            # Flag nibble per (res15, val15) quadrant, precomputed from
+            # the closure's V/C/Z/N/S logic (k is 1..63, so Z is only
+            # reachable in the quadrants listed).
+            if m == "ADIW":
+                expr = f"(v + {k}) & 0xFFFF"
+                quad = [f"if res & 0x8000:",
+                        f"    sr = (sr & ~{_SHIFT}) | "
+                        f"({N | S} if v & 0x8000 else {N | V})",
+                        f"elif v & 0x8000:",
+                        f"    sr = (sr & ~{_SHIFT}) | "
+                        f"({C | Z} if res == 0 else {C})",
+                        f"else:",
+                        f"    sr = sr & ~{_SHIFT}"]
+            else:
+                expr = f"(v - {k}) & 0xFFFF"
+                quad = [f"if res & 0x8000:",
+                        f"    sr = (sr & ~{_SHIFT}) | "
+                        f"({N | S} if v & 0x8000 else {C | N | S})",
+                        f"elif v & 0x8000:",
+                        f"    sr = (sr & ~{_SHIFT}) | {V | S}",
+                        f"else:",
+                        f"    sr = (sr & ~{_SHIFT}) | "
+                        f"({Z} if res == 0 else 0)"]
+            return ([f"v = r[{d}] | (r[{d + 1}] << 8)",
+                     f"res = {expr}",
+                     f"r[{d}] = res & 0xFF",
+                     f"r[{d + 1}] = res >> 8"] + quad,
+                    2, True)
+        if m == "COM":
+            (d,) = ops
+            return ([f"res = (~r[{d}]) & 0xFF",
+                     f"r[{d}] = res",
+                     f"sr = (sr & ~{_SHIFT}) | {C} | lf[res]"],
+                    1, True)
+        if m == "NEG":
+            (d,) = ops
+            return ([f"a = r[{d}]",
+                     f"r[{d}] = (-a) & 0xFF",
+                     f"sr = (sr & ~{_ARITH}) | negf[a]"],
+                    1, True)
+        if m == "SWAP":
+            (d,) = ops
+            return ([f"a = r[{d}]",
+                     f"r[{d}] = ((a << 4) | (a >> 4)) & 0xFF"],
+                    1, False)
+        if m in ("INC", "DEC"):
+            (d,) = ops
+            delta = "+ 1" if m == "INC" else "- 1"
+            table = "incf" if m == "INC" else "decf"
+            return ([f"res = (r[{d}] {delta}) & 0xFF",
+                     f"r[{d}] = res",
+                     f"sr = (sr & ~{_LOGIC}) | {table}[res]"],
+                    1, True)
+        if m == "LSR":
+            (d,) = ops
+            return ([f"a = r[{d}]",
+                     f"r[{d}] = a >> 1",
+                     f"sr = (sr & ~{_SHIFT}) | lsrf[a]"],
+                    1, True)
+        if m == "ASR":
+            (d,) = ops
+            return ([f"a = r[{d}]",
+                     f"r[{d}] = (a >> 1) | (a & 0x80)",
+                     f"sr = (sr & ~{_SHIFT}) | asrf[a]"],
+                    1, True)
+        if m == "ROR":
+            (d,) = ops
+            return ([f"a = r[{d}]; cin = sr & 1",
+                     f"r[{d}] = (a >> 1) | (cin << 7)",
+                     f"sr = (sr & ~{_SHIFT}) | "
+                     f"(rorf1 if cin else rorf0)[a]"],
+                    1, True)
+        if m in ("LDS", "STS"):
+            d, k = ops
+            # Static SRAM only: I/O, SP and SREG addresses keep their
+            # hook/virtualization semantics by terminating the block.
+            if ioports.RAM_START <= k < self.mem.size:
+                line = f"mem[{k}] = r[{d}]" if m == "STS" \
+                    else f"r[{d}] = mem[{k}]"
+                return ([line], 2, False)
+            return None
+        if m == "LPM":
+            d, mode = ops
+            lines = ["z = r[30] | (r[31] << 8)",
+                     f"r[{d}] = flash.byte(z)"]
+            if mode == "Z+":
+                lines += ["z = (z + 1) & 0xFFFF",
+                          "r[30] = z & 0xFF",
+                          "r[31] = z >> 8"]
+            return (lines, 3, False)
+        if m in ("BSET", "BCLR"):
+            (s,) = ops
+            if s == 7:  # SEI/CLI: interrupt delivery is boundary-checked
+                return None
+            mask = 1 << s
+            line = f"sr |= {mask}" if m == "BSET" else f"sr &= ~{mask}"
+            return ([line], 1, True)
+        if m == "BLD":
+            d, b = ops
+            mask = 1 << b
+            return ([f"if sr & {T}:",
+                     f"    r[{d}] |= {mask}",
+                     "else:",
+                     f"    r[{d}] &= ~{mask}"],
+                    1, True)
+        if m == "BST":
+            d, b = ops
+            mask = 1 << b
+            return ([f"if r[{d}] & {mask}:",
+                     f"    sr |= {T}",
+                     "else:",
+                     f"    sr &= ~{T}"],
+                    1, True)
+        if m in ("NOP", "WDR"):
+            return ([], 1, False)
+        return None
+
+    def _self_loop_body(self, ins: Instruction, members: List[str],
+                        cost: int, count: int, uses_sreg: bool,
+                        start: int) -> Optional[List[str]]:
+        """Complete closure body for a block that branches back to its
+        own start, or None if *ins* is not such a backward branch.
+
+        The closure iterates internally, so tight spin loops pay the
+        dispatch cost once.  Every observable boundary check of
+        :meth:`_run_fused` is replicated per iteration: the exit guard
+        tests the device alarm and applies the same exact-stop
+        conditions against the run limits (published by ``run()`` as
+        ``_run_mi``/``_run_mc``); a pending ``until()`` predicate forces
+        an exit after one iteration so the run loop evaluates it.
+        Nothing else can change mid-block — devices, traps and
+        interrupts only get control between dispatches — so ``cycles``,
+        ``instret`` and SREG can live in locals until exit.
+        """
+        m = ins.mnemonic
+        if m in ("BRBS", "BRBC"):
+            s, k = ins.operands
+            if ins.next_address + k != start:
+                return None
+            mask = 1 << s
+            flags = "sr" if uses_sreg else "cpu.sreg"
+            taken = f"{flags} & {mask}" if m == "BRBS" \
+                else f"not ({flags} & {mask})"
+            taken_cycles, fall_cycles = cost + 2, cost + 1
+        elif m == "RJMP" and ins.next_address + ins.operands[0] == start:
+            taken = None
+            taken_cycles = cost + 2
+        else:
+            return None
+        body = []
+        if uses_sreg:
+            body.append("sr = cpu.sreg")
+        body += ["cy = cpu.cycles",
+                 "n = cpu.instret",
+                 # The alarm cannot move mid-block; -1 forces an exit
+                 # after one iteration when until() must be evaluated.
+                 "da = -1.0 if cpu._run_until is not None "
+                 "else cpu.device_alarm",
+                 "mi = cpu._run_mi",
+                 "mc = cpu._run_mc",
+                 "while True:"]
+        inner = list(members)
+        guard = [f"cy += {taken_cycles}",
+                 f"n += {count + 1}",
+                 f"if cy >= da or n + {count + 1} > mi "
+                 f"or cy + {cost} >= mc:",
+                 f"    cpu.pc = {start}",
+                 "    break"]
+        if taken is None:
+            inner += guard
+        else:
+            inner += ([f"if {taken}:"]
+                      + ["    " + line for line in guard]
+                      + ["else:",
+                         f"    cpu.pc = {ins.next_address}",
+                         f"    cy += {fall_cycles}",
+                         f"    n += {count + 1}",
+                         "    break"])
+        body += ["    " + line for line in inner]
+        if uses_sreg:
+            body.append("cpu.sreg = sr")
+        body += ["cpu.cycles = cy", "cpu.instret = n"]
+        return body
+
+    def _inline_term_src(self, ins: Instruction, cost: int, count: int,
+                         uses_sreg: bool) -> Optional[List[str]]:
+        """Inline source for hot block terminators (branches, RJMP).
+
+        Folds the members' cycle total into each arm so the epilogue is
+        a single pc/cycles/instret update.  When the members kept SREG
+        in the local ``sr``, the branch tests that local directly.
+        """
+        m = ins.mnemonic
+        if m in ("BRBS", "BRBC"):
+            s, k = ins.operands
+            mask = 1 << s
+            target = ins.next_address + k
+            flags = "sr" if uses_sreg else "cpu.sreg"
+            test = f"{flags} & {mask}" if m == "BRBS" \
+                else f"not ({flags} & {mask})"
+            return [f"if {test}:",
+                    f"    cpu.pc = {target}",
+                    f"    cpu.cycles += {cost + 2}",
+                    "else:",
+                    f"    cpu.pc = {ins.next_address}",
+                    f"    cpu.cycles += {cost + 1}",
+                    f"cpu.instret += {count + 1}"]
+        if m == "RJMP":
+            (k,) = ins.operands
+            target = ins.next_address + k
+            if self.in_trap_region(target):
+                return None  # cannot happen for RJMP sites, but be safe
+            return [f"cpu.pc = {target}",
+                    f"cpu.cycles += {cost + 2}",
+                    f"cpu.instret += {count + 1}"]
+        return None
 
     def _build(self, ins: Instruction) -> Callable[[], None]:
         """Compile *ins* into an executable closure."""
@@ -840,6 +1476,11 @@ class AvrCpu:
 
     def _build_trap(self, site: int, target: int,
                     is_call: bool) -> Callable[[], None]:
+        factory = self._trap_thunk_factory
+        if factory is not None:
+            thunk = factory(self, site, target, is_call)
+            if thunk is not None:
+                return thunk
         cpu = self
 
         def run():

@@ -21,13 +21,24 @@ class Flash:
                  size_words: int = ioports.FLASH_WORDS):
         self.size_words = size_words
         self._words: List[int] = [0xFFFF] * size_words
+        self._burn_listeners: List = []
         if words is not None:
             self.load(0, words)
+
+    def add_burn_listener(self, listener) -> None:
+        """Call *listener()* after every :meth:`load` (re-burn).
+
+        Attached CPUs use this to drop decoded thunks and fused
+        superblocks whose flash words just changed.
+        """
+        self._burn_listeners.append(listener)
 
     def load(self, word_address: int, words: Iterable[int]) -> None:
         """Burn *words* into flash starting at *word_address*."""
         for offset, word in enumerate(words):
             self._words[word_address + offset] = word & 0xFFFF
+        for listener in self._burn_listeners:
+            listener()
 
     def word(self, word_address: int) -> int:
         if not 0 <= word_address < self.size_words:

@@ -37,12 +37,13 @@ class NativeResult:
 def run_native(source: str, max_instructions: int = 50_000_000,
                max_cycles: Optional[int] = None,
                adc_seed: int = 0xACE1,
-               clock_hz: int = 7_372_800) -> NativeResult:
+               clock_hz: int = 7_372_800,
+               fuse: bool = True) -> NativeResult:
     """Assemble *source* and run it bare-metal until BREAK."""
     program = compile_source(source, origin=0)
     flash = Flash()
     flash.load(0, program.words)
-    cpu = AvrCpu(flash, clock_hz=clock_hz)
+    cpu = AvrCpu(flash, clock_hz=clock_hz, fuse=fuse)
     devices = {
         "timer0": Timer0(),
         "timer3": Timer3(),

@@ -18,7 +18,7 @@ from .analysis.profile import flat_profile, trap_histogram
 from .avr.disassembler import disassemble
 from .baselines.native import run_native
 from .cc import compile_c_to_asm
-from .experiments.runner import experiment_functions, run_all
+from .experiments.runner import experiment_functions, run_suite
 from .kernel import SensorNode
 from .toolchain import compile_source, link_image
 
@@ -33,7 +33,7 @@ def _read_program(path: Path) -> str:
 
 def _cmd_exp(args: argparse.Namespace) -> int:
     names = None if args.which in ("all", None) else [args.which]
-    suite = run_all(quick=args.quick, only=names)
+    suite = run_suite(quick=args.quick, only=names, jobs=args.jobs)
     print(suite.render())
     return 0
 
@@ -173,6 +173,9 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=sorted(experiment_functions()) + ["all"])
     exp.add_argument("--quick", action="store_true",
                      help="smoke-test sized sweeps")
+    exp.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="fan independent sweep points over N worker "
+                          "processes (output is identical to -j1)")
     exp.set_defaults(func=_cmd_exp)
 
     run = sub.add_parser("run", help="run programs under SenSmart")

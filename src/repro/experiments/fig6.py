@@ -80,6 +80,52 @@ class Fig6Result:
                   f"activations, period {DEFAULT_PERIOD_TICKS} ticks)")
 
 
+def compute_point(size: int,
+                  activations: int = DEFAULT_ACTIVATIONS,
+                  period_ticks: int = DEFAULT_PERIOD_TICKS,
+                  include_mate: bool = True) -> Fig6Point:
+    """One sweep point: all four systems at one computation size.
+
+    Points are independent, which is what lets the experiment runner
+    fan them out across worker processes.
+    """
+    native = run_native(
+        periodic_native_source(size, activations, period_ticks),
+        max_instructions=1_000_000_000)
+    assert native.finished, f"native periodic size={size} stuck"
+    native_util = (native.cycles - native.cpu.idle_cycles) \
+        / native.cycles
+
+    node = SensorNode.from_sources(
+        [("periodic",
+          periodic_sensmart_source(size, activations, period_ticks))])
+    node.run(max_instructions=1_000_000_000)
+    assert node.finished, f"sensmart periodic size={size} stuck"
+    sensmart_util = node.kernel.stats.utilization(node.cpu.cycles)
+
+    tkernel = TkernelRunner(
+        periodic_sensmart_source(size, activations, period_ticks)
+    ).run(max_instructions=1_000_000_000)
+    assert tkernel.finished, f"t-kernel periodic size={size} stuck"
+
+    if include_mate:
+        vm = MateVm(periodic_task_bytecode(size, activations,
+                                           period_ticks))
+        mate_cycles = vm.run().cycles
+    else:
+        mate_cycles = 0
+
+    return Fig6Point(
+        compute_size=size,
+        native_cycles=native.cycles,
+        native_utilization=native_util,
+        sensmart_cycles=node.cpu.cycles,
+        sensmart_utilization=sensmart_util,
+        tkernel_cycles=tkernel.total_cycles,
+        mate_cycles=mate_cycles,
+    )
+
+
 def run(sizes: List[int] = None,
         activations: int = DEFAULT_ACTIVATIONS,
         period_ticks: int = DEFAULT_PERIOD_TICKS,
@@ -87,39 +133,6 @@ def run(sizes: List[int] = None,
     sizes = sizes if sizes is not None else DEFAULT_SIZES
     result = Fig6Result(activations=activations)
     for size in sizes:
-        native = run_native(
-            periodic_native_source(size, activations, period_ticks),
-            max_instructions=1_000_000_000)
-        assert native.finished, f"native periodic size={size} stuck"
-        native_util = (native.cycles - native.cpu.idle_cycles) \
-            / native.cycles
-
-        node = SensorNode.from_sources(
-            [("periodic",
-              periodic_sensmart_source(size, activations, period_ticks))])
-        node.run(max_instructions=1_000_000_000)
-        assert node.finished, f"sensmart periodic size={size} stuck"
-        sensmart_util = node.kernel.stats.utilization(node.cpu.cycles)
-
-        tkernel = TkernelRunner(
-            periodic_sensmart_source(size, activations, period_ticks)
-        ).run(max_instructions=1_000_000_000)
-        assert tkernel.finished, f"t-kernel periodic size={size} stuck"
-
-        if include_mate:
-            vm = MateVm(periodic_task_bytecode(size, activations,
-                                               period_ticks))
-            mate_cycles = vm.run().cycles
-        else:
-            mate_cycles = 0
-
-        result.points.append(Fig6Point(
-            compute_size=size,
-            native_cycles=native.cycles,
-            native_utilization=native_util,
-            sensmart_cycles=node.cpu.cycles,
-            sensmart_utilization=sensmart_util,
-            tkernel_cycles=tkernel.total_cycles,
-            mate_cycles=mate_cycles,
-        ))
+        result.points.append(compute_point(size, activations,
+                                           period_ticks, include_mate))
     return result

@@ -101,25 +101,29 @@ def _try_configuration(tree_nodes: int, search_tasks: int,
     return average, kernel.stats.relocations, len(abnormal)
 
 
+def compute_point(nodes: int, max_tasks: int = MAX_TASKS) -> Fig7Point:
+    """One tree size: scan task counts upward until loading/running
+    fails.  Independent per size, so the runner can parallelize."""
+    best = 0
+    best_metrics = (0.0, 0, 0)
+    for count in range(1, max_tasks + 1):
+        metrics = _try_configuration(nodes, count)
+        if metrics is None:
+            break
+        best = count
+        best_metrics = metrics
+    average, relocations, _ = best_metrics
+    return Fig7Point(
+        tree_nodes=nodes,
+        max_search_tasks=best,
+        avg_stack_allocation=average,
+        relocations=relocations,
+        terminations_at_limit=0)
+
+
 def run(tree_sizes: List[int] = None,
         max_tasks: int = MAX_TASKS) -> Fig7Result:
     tree_sizes = tree_sizes if tree_sizes is not None \
         else DEFAULT_TREE_SIZES
-    result = Fig7Result()
-    for nodes in tree_sizes:
-        best = 0
-        best_metrics = (0.0, 0, 0)
-        for count in range(1, max_tasks + 1):
-            metrics = _try_configuration(nodes, count)
-            if metrics is None:
-                break
-            best = count
-            best_metrics = metrics
-        average, relocations, _ = best_metrics
-        result.points.append(Fig7Point(
-            tree_nodes=nodes,
-            max_search_tasks=best,
-            avg_stack_allocation=average,
-            relocations=relocations,
-            terminations_at_limit=0))
-    return result
+    return Fig7Result(points=[compute_point(nodes, max_tasks)
+                              for nodes in tree_sizes])

@@ -101,14 +101,17 @@ def _liteos_max(tree_nodes: int, max_tasks: int) -> int:
         max_cycles=400_000_000)
 
 
+def compute_point(nodes: int, max_tasks: int = MAX_TASKS) -> Fig8Point:
+    """One tree size under both systems (runner-parallelizable)."""
+    return Fig8Point(
+        tree_nodes=nodes,
+        sensmart_tasks=_sensmart_max(nodes, max_tasks),
+        liteos_tasks=_liteos_max(nodes, max_tasks))
+
+
 def run(tree_sizes: List[int] = None,
         max_tasks: int = MAX_TASKS) -> Fig8Result:
     tree_sizes = tree_sizes if tree_sizes is not None \
         else DEFAULT_TREE_SIZES
-    result = Fig8Result()
-    for nodes in tree_sizes:
-        result.points.append(Fig8Point(
-            tree_nodes=nodes,
-            sensmart_tasks=_sensmart_max(nodes, max_tasks),
-            liteos_tasks=_liteos_max(nodes, max_tasks)))
-    return result
+    return Fig8Result(points=[compute_point(nodes, max_tasks)
+                              for nodes in tree_sizes])

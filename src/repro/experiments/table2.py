@@ -159,35 +159,50 @@ inner:
         float(full)
 
 
-def run(reps: int = _REPS) -> Table2Result:
-    rows: List[Tuple[str, float, Optional[int]]] = []
+def _rows_boot(reps: int) -> List[Tuple[str, float, Optional[int]]]:
+    return [("System initialization", _measure_boot(), 5738)]
 
-    rows.append(("System initialization", _measure_boot(), 5738))
-    rows.append(("Mem direct, I/O area",
-                 _measure_op("    lds r16, 0x3B\n", reps=reps), 2))
-    rows.append(("Mem direct, others",
-                 _measure_op("    lds r16, scratch\n",
-                             bss=".bss scratch, 4\n", reps=reps), 28))
-    rows.append(("Mem indirect, I/O area",
-                 _measure_op("    ld r16, X\n",
-                             setup="    ldi r26, 0x3B\n    ldi r27, 0\n",
-                             reps=reps), 54))
-    rows.append(("Mem indirect, heap",
-                 _measure_op("    ld r16, X\n",
-                             setup="    ldi r26, lo8(scratch)\n"
-                                   "    ldi r27, hi8(scratch)\n",
-                             bss=".bss scratch, 4\n", reps=reps), None))
-    # The pointer re-init between accesses defeats the grouped-access
-    # optimization so the row reports the full translation cost.
-    rows.append(("Mem indirect, stack frame",
-                 _measure_op("    ldi r28, 0xE0\n    ldd r16, Y+1\n",
-                             setup="    ldi r29, 0x10\n",
-                             reps=reps), None))
-    rows.append(("Mem indirect, grouped follower",
-                 _measure_op("    ldd r16, Y+1\n    ldd r17, Y+2\n",
-                             setup="    ldi r28, 0xE0\n"
-                                   "    ldi r29, 0x10\n",
-                             reps=reps // 2, per_rep_ops=2), None))
+
+def _rows_mem_direct(reps: int) -> List[Tuple[str, float, Optional[int]]]:
+    return [
+        ("Mem direct, I/O area",
+         _measure_op("    lds r16, 0x3B\n", reps=reps), 2),
+        ("Mem direct, others",
+         _measure_op("    lds r16, scratch\n",
+                     bss=".bss scratch, 4\n", reps=reps), 28),
+    ]
+
+
+def _rows_mem_indirect(reps: int) -> List[Tuple[str, float,
+                                                Optional[int]]]:
+    # The pointer re-init between accesses (stack-frame row) defeats the
+    # grouped-access optimization so that row reports the full
+    # translation cost.
+    return [
+        ("Mem indirect, I/O area",
+         _measure_op("    ld r16, X\n",
+                     setup="    ldi r26, 0x3B\n    ldi r27, 0\n",
+                     reps=reps), 54),
+        ("Mem indirect, heap",
+         _measure_op("    ld r16, X\n",
+                     setup="    ldi r26, lo8(scratch)\n"
+                           "    ldi r27, hi8(scratch)\n",
+                     bss=".bss scratch, 4\n", reps=reps), None),
+        ("Mem indirect, stack frame",
+         _measure_op("    ldi r28, 0xE0\n    ldd r16, Y+1\n",
+                     setup="    ldi r29, 0x10\n",
+                     reps=reps), None),
+        ("Mem indirect, grouped follower",
+         _measure_op("    ldd r16, Y+1\n    ldd r17, Y+2\n",
+                     setup="    ldi r28, 0xE0\n"
+                           "    ldi r29, 0x10\n",
+                     reps=reps // 2, per_rep_ops=2), None),
+    ]
+
+
+def _rows_stack_and_prog(reps: int) -> List[Tuple[str, float,
+                                                  Optional[int]]]:
+    rows: List[Tuple[str, float, Optional[int]]] = []
     rows.append(("Stack operation (push/pop)",
                  _measure_op("    push r16\n    pop r16\n",
                              reps=reps, per_rep_ops=2), None))
@@ -202,14 +217,47 @@ def run(reps: int = _REPS) -> Table2Result:
     sensmart = _run_sensmart(source) - _run_sensmart(_EMPTY)
     rows.append(("Program memory (indirect branch)",
                  (sensmart - native) / reps, 376))
-    rows.append(("Get stack pointer",
-                 _measure_op("    in r16, 0x3D\n", reps=reps), 45))
-    rows.append(("Set stack pointer",
-                 _measure_op("    out 0x3D, r16\n",
-                             setup="    in r16, 0x3D\n", reps=reps), 94))
-    rows.append(("Stack relocation", _measure_relocation(), 2326))
+    return rows
+
+
+def _rows_sp(reps: int) -> List[Tuple[str, float, Optional[int]]]:
+    return [
+        ("Get stack pointer",
+         _measure_op("    in r16, 0x3D\n", reps=reps), 45),
+        ("Set stack pointer",
+         _measure_op("    out 0x3D, r16\n",
+                     setup="    in r16, 0x3D\n", reps=reps), 94),
+    ]
+
+
+def _rows_relocation(reps: int) -> List[Tuple[str, float,
+                                              Optional[int]]]:
+    return [("Stack relocation", _measure_relocation(), 2326)]
+
+
+def _rows_switch(reps: int) -> List[Tuple[str, float, Optional[int]]]:
     save, restore, full = _measure_switch()
-    rows.append(("Context saving", save, 932))
-    rows.append(("Context restoring", restore, 976))
-    rows.append(("Full switching", full, 2298))
+    return [("Context saving", save, 932),
+            ("Context restoring", restore, 976),
+            ("Full switching", full, 2298)]
+
+
+#: Independent row groups in table order — the unit of parallelism the
+#: experiment runner fans out.  Each takes *reps* and returns rows.
+ROW_BUILDERS = [_rows_boot, _rows_mem_direct, _rows_mem_indirect,
+                _rows_stack_and_prog, _rows_sp, _rows_relocation,
+                _rows_switch]
+
+
+def compute_rows(index: int,
+                 reps: int = _REPS) -> List[Tuple[str, float,
+                                                  Optional[int]]]:
+    """Rows of one row group (see :data:`ROW_BUILDERS`)."""
+    return ROW_BUILDERS[index](reps)
+
+
+def run(reps: int = _REPS) -> Table2Result:
+    rows: List[Tuple[str, float, Optional[int]]] = []
+    for builder in ROW_BUILDERS:
+        rows.extend(builder(reps))
     return Table2Result(rows=rows)

@@ -61,6 +61,10 @@ class KernelConfig:
     #: used by the Figure 5 "memory protection only" configuration).
     enable_scheduling: bool = True
 
+    #: Superblock-fuse the CPU interpreter (see repro.avr.cpu).  Off
+    #: forces per-instruction dispatch; results are bit-identical.
+    fuse: bool = True
+
     @property
     def memory_size(self) -> int:
         """M — size of the physical data address space."""

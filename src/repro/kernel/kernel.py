@@ -60,7 +60,8 @@ class SenSmartKernel:
 
         flash = Flash()
         image.burn(flash)
-        self.cpu = AvrCpu(flash, clock_hz=self.config.clock_hz)
+        self.cpu = AvrCpu(flash, clock_hz=self.config.clock_hz,
+                          fuse=self.config.fuse)
         for device in devices:
             self.cpu.attach_device(device)
 
@@ -70,7 +71,8 @@ class SenSmartKernel:
         self.trampolines = image.trampolines_by_address
         self.handlers = TrapHandlers(self)
         self.cpu.set_trap_region(image.trap_region[0], image.trap_region[1],
-                                 self.handlers.dispatch)
+                                 self.handlers.dispatch,
+                                 thunk_factory=self.handlers.thunk_factory)
 
         self.tasks: Dict[int, Task] = {}
         self.current: Optional[Task] = None

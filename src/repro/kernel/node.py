@@ -9,6 +9,7 @@ experiments can say::
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional, Sequence, Tuple
 
 from ..avr.devices import Adc, Leds, Radio, Timer0
@@ -29,8 +30,16 @@ class SensorNode:
     def from_sources(cls, sources: Sequence[Tuple[str, str]],
                      config: Optional[KernelConfig] = None,
                      rewriter: Optional[Rewriter] = None,
-                     adc_seed: int = 0xACE1) -> "SensorNode":
-        """Compile, rewrite and link *sources*, then boot a node."""
+                     adc_seed: int = 0xACE1,
+                     fuse: Optional[bool] = None) -> "SensorNode":
+        """Compile, rewrite and link *sources*, then boot a node.
+
+        *fuse* overrides the config's superblock-fusion knob (execution
+        stays bit-identical either way; fused is faster).
+        """
+        if fuse is not None:
+            config = replace(config if config is not None
+                             else KernelConfig(), fuse=fuse)
         image = link_image(sources, rewriter=rewriter)
         adc = Adc(seed=adc_seed)
         radio = Radio()

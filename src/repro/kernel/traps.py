@@ -66,6 +66,37 @@ class TrapHandlers:
         except TaskFault as fault:
             kernel.terminate_task(kernel.current, f"fault: {fault.reason}")
 
+    def thunk_factory(self, cpu, site: int, target: int, is_call: bool):
+        """Specialized trap thunk for a patched site, or None.
+
+        The CPU resolves patched ``JMP``/``CALL`` sites through this at
+        decode time, so the per-trap trampoline lookup, stats update and
+        handler-table indexing of :meth:`dispatch` happen once per site
+        instead of once per execution.  Unpatched entries (``site < 0``,
+        or a target without a trampoline — execution escaping into the
+        kernel region) fall back to :meth:`dispatch`.
+        """
+        if site < 0:
+            return None
+        trampoline = self.kernel.trampolines.get(target)
+        if trampoline is None:
+            return None
+        kernel = self.kernel
+        handler = self._table[trampoline.kind]
+        params = trampoline.params
+        kind = trampoline.kind
+        counts = kernel.stats.trap_counts
+        resume = site + 2
+
+        def run():
+            counts[kind] = counts.get(kind, 0) + 1
+            try:
+                handler(cpu, params, resume)
+            except TaskFault as fault:
+                kernel.terminate_task(kernel.current,
+                                      f"fault: {fault.reason}")
+        return run
+
     # -- data memory ---------------------------------------------------------------
 
     def _translate(self, logical: int) -> Tuple[int, AccessClass]:

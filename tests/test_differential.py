@@ -8,6 +8,10 @@ Two generators drive this:
   knowing" claim;
 * random TinyC expressions are compiled and run, and the result is
   checked against Python's evaluation of the same expression.
+
+Every generated program additionally runs in both execution modes —
+superblock-fused and per-instruction — and the two must agree on all
+architectural state, cycle for cycle.
 """
 
 from __future__ import annotations
@@ -87,6 +91,42 @@ def test_sensmart_is_architecturally_invisible(source):
     # Heap contents identical.
     assert native.mem.data[0x100:0x110] == \
         kernel.cpu.mem.data[region.p_l:region.p_l + 16]
+
+
+@given(alu_program())
+@settings(max_examples=40, deadline=None)
+def test_superblock_fusion_is_observationally_identical(source):
+    """Fused and per-instruction execution agree on everything."""
+    program = assemble(source)
+    cpus = []
+    for fuse in (True, False):
+        flash = Flash()
+        flash.load(0, program.words)
+        cpu = AvrCpu(flash, fuse=fuse)
+        cpu.run(max_instructions=100_000)
+        assert cpu.halted
+        cpus.append(cpu)
+    fused, stepwise = cpus
+    assert bytes(fused.r) == bytes(stepwise.r)
+    assert fused.sreg == stepwise.sreg
+    assert fused.cycles == stepwise.cycles
+    assert fused.instret == stepwise.instret
+    assert fused.mem.data == stepwise.mem.data
+
+
+@given(alu_program())
+@settings(max_examples=12, deadline=None)
+def test_kernelized_fusion_is_observationally_identical(source):
+    """The kernel's trap-driven execution is mode-independent too."""
+    states = []
+    for fuse in (True, False):
+        node = SensorNode.from_sources([("fuzz", source)], fuse=fuse)
+        node.run(max_instructions=1_000_000)
+        assert node.finished
+        cpu = node.kernel.cpu
+        states.append((bytes(cpu.r), cpu.sreg, cpu.pc, cpu.sp,
+                       cpu.cycles, cpu.instret, bytes(cpu.mem.data)))
+    assert states[0] == states[1]
 
 
 # -- random TinyC expressions -----------------------------------------------------

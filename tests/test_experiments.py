@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments import fig4, fig5, fig6, fig7, fig8, table1, table2
-from repro.experiments.runner import run_all
+from repro.experiments.runner import run_all, run_suite
 
 
 def test_table1_structure_and_verification():
@@ -77,3 +77,10 @@ def test_runner_quick_subset():
     rendered = suite.render()
     assert "===== table1 =====" in rendered
     assert "===== fig4 =====" in rendered
+
+
+def test_runner_parallel_output_is_byte_identical():
+    names = ["table1", "table2", "fig4"]
+    serial = run_suite(quick=True, only=names, jobs=1).render()
+    parallel = run_suite(quick=True, only=names, jobs=2).render()
+    assert parallel == serial
