@@ -92,3 +92,32 @@ def test_kernelized_stepwise(benchmark):
     print(f"\nkernelized, per-instruction: {rate / 1e6:.2f} M instr/s")
     _record("kernelized_stepwise", rate)
     assert _kernelized(fuse=True)() == _kernelized(fuse=False)()
+
+
+def _quick() -> None:
+    """CI smoke: one timed pass per configuration, no pytest plugin,
+    no BENCH_interpreter.json update — just prove both modes run and
+    retire identical instruction counts."""
+    import time
+    for label, factory in (("native", _native), ("kernelized", _kernelized)):
+        counts = {}
+        for fuse in (True, False):
+            run = factory(fuse)
+            started = time.perf_counter()
+            counts[fuse] = run()
+            elapsed = time.perf_counter() - started
+            mode = "fused" if fuse else "stepwise"
+            print(f"{label}, {mode}: "
+                  f"{counts[fuse] / elapsed / 1e6:.2f} M instr/s")
+        assert counts[True] == counts[False], \
+            f"{label}: modes retired different instruction counts"
+    print("quick smoke OK")
+
+
+if __name__ == "__main__":
+    import sys
+    if "--quick" in sys.argv:
+        _quick()
+    else:
+        raise SystemExit(
+            "run under pytest, or pass --quick for the CI smoke")

@@ -1,18 +1,19 @@
 #!/usr/bin/env python3
 """Two motes, one link: a sender and a receiver, both running SenSmart.
 
-The sensing node samples its ADC and transmits framed readings; a relay
-link (host-side glue standing in for the RF channel) delivers the bytes
-into the sink node's radio, where a receiver task reframes them,
-verifies each checksum, and tallies the readings.  Both nodes run their
-tasks under the SenSmart kernel — the example shows the library
-composing into the *networked* systems the paper's introduction
-motivates.
+The sensing node samples its ADC and transmits framed readings over a
+`repro.net.Network` link; the co-simulator delivers each byte into the
+sink node's radio at exactly the TX cycle plus the link latency, where
+a receiver task reframes it, verifies the checksum, and tallies the
+readings.  Both nodes run their tasks under the SenSmart kernel — the
+example shows the library composing into the *networked* systems the
+paper's introduction motivates.
 """
 
 from repro.avr import ioports
 from repro.avr.devices.radio import RXC
 from repro.kernel import SensorNode
+from repro.net import Network
 
 FRAME = 5  # magic, seq, lo, hi, checksum
 
@@ -116,13 +117,18 @@ wait_rx:
 
 
 def main() -> None:
-    sensing = SensorNode.from_sources([("sender", SENDER)], adc_seed=0x1357)
-    sink = SensorNode.from_sources([("receiver", RECEIVER)])
+    latency = 2_000
+    net = Network()
+    sensing = net.add_node("sensing", SensorNode.from_sources(
+        [("sender", SENDER)], adc_seed=0x1357))
+    sink = net.add_node("sink", SensorNode.from_sources(
+        [("receiver", RECEIVER)]))
+    net.connect("sensing", "sink", latency_cycles=latency)
     sink_kernel = sink.kernel
     receiver_heap = sink_kernel.regions.by_task(0).p_l
 
-    # Sensing node transmits its frames.
-    sensing.run(max_instructions=10_000_000)
+    # Co-simulate both motes; the link ferries bytes cycle-exactly.
+    net.run(max_cycles=50_000_000)
     frames = sensing.radio.packets
     print(f"sensing node sent {len(frames)} bytes "
           f"({len(frames) // FRAME} frames):")
@@ -132,9 +138,13 @@ def main() -> None:
         print(f"  seq {frame[1]}: reading {reading:4d} "
               f"(frame {frame.hex(' ')})")
 
-    # The channel: deliver the byte stream into the sink's radio.
-    sink.radio.deliver(frames)
-    sink.run(max_instructions=10_000_000)
+    link = net.link_between("sensing", "sink")
+    print(f"\nlink: {link.delivered} bytes delivered, "
+          f"{link.dropped} dropped; first byte arrived at cycle "
+          f"{link.arrival_cycles[0]} "
+          f"(TX {sensing.radio.tx_cycles[0]} + {latency} latency)")
+    assert link.arrival_cycles == [
+        tx + latency for tx in sensing.radio.tx_cycles]
 
     mem = sink_kernel.cpu.mem.data
     good, bad = mem[receiver_heap], mem[receiver_heap + 1]

@@ -23,7 +23,9 @@ Two integration points exist for the SenSmart kernel:
   lies inside the region — or the PC landing there directly — invokes the
   registered trap handler instead of executing machine code.  SenSmart's
   trampolines live there;
-* *devices* registered with the CPU are serviced between instructions
+* *devices* registered with the CPU schedule :class:`~repro.sim.Event`
+  callbacks on the CPU's event queue (the CPU is a
+  :class:`~repro.sim.SimClock`); events fire between instructions
   (between superblocks when fusing) and can raise interrupts or wake
   the CPU from sleep.
 """
@@ -34,6 +36,7 @@ from collections import deque
 from typing import Callable, Deque, List, Optional, Tuple
 
 from ..errors import InvalidInstruction, MemoryFault, SimulationError
+from ..sim.events import INFINITY, SimClock
 from . import ioports
 from .encoding import EncodingError, decode
 from .instruction import Instruction
@@ -200,11 +203,19 @@ def _sub_row(k: int, cin: int) -> List[int]:
     return row
 
 
-class AvrCpu:
-    """The simulated ATmega128L core."""
+class AvrCpu(SimClock):
+    """The simulated ATmega128L core.
+
+    Inherits ``cycles``/``idle_cycles`` and the :class:`EventQueue`
+    (``self.events``) from :class:`~repro.sim.SimClock`: the CPU's
+    cycle counter *is* the simulated clock, and every timed effect —
+    device completions, timer compares, kernel virtual timers, network
+    byte arrivals — is an event on that queue.
+    """
 
     def __init__(self, flash: Flash, memory: Optional[DataMemory] = None,
                  clock_hz: int = 7_372_800, fuse: bool = True):
+        SimClock.__init__(self)
         self.flash = flash
         self.mem = memory if memory is not None else DataMemory()
         self.clock_hz = clock_hz
@@ -213,8 +224,6 @@ class AvrCpu:
         self.pc = 0
         self.sp = ioports.RAM_END
         self.sreg = 0
-        self.cycles = 0
-        self.idle_cycles = 0  # cycles skipped while sleeping
         self.instret = 0
         self.sleeping = False
         self.halted = False
@@ -224,7 +233,6 @@ class AvrCpu:
         self._blocks: List[Optional[Tuple]] = [None] * flash.size_words
         self._devices: List = []
         self._pending_irqs: Deque[int] = deque()
-        self.device_alarm = float("inf")
         self._trap_ranges: List = []  # [(lo, hi)] word-address ranges
         self._trap_lo = -1  # envelope for the hot-path check
         self._trap_hi = -1
@@ -243,7 +251,11 @@ class AvrCpu:
     # -- configuration --------------------------------------------------------
 
     def attach_device(self, device) -> None:
-        """Register a device (timer/ADC/...) for inter-instruction service."""
+        """Attach a device (timer/ADC/...).
+
+        Devices install I/O hooks and schedule their timed effects on
+        ``self.events``; there is no per-instruction polling.
+        """
         self._devices.append(device)
         device.attach(self)
 
@@ -309,11 +321,6 @@ class AvrCpu:
     def raise_interrupt(self, vector: int) -> None:
         self._pending_irqs.append(vector)
         self.sleeping = False
-
-    def schedule_alarm(self, cycle: int) -> None:
-        """Ask for device service at or after the given cycle count."""
-        if cycle < self.device_alarm:
-            self.device_alarm = cycle
 
     # -- data-space access ------------------------------------------------------
 
@@ -392,26 +399,34 @@ class AvrCpu:
             max_instructions: Optional[int] = None,
             until: Optional[Callable[["AvrCpu"], bool]] = None) -> None:
         """Run until halted, a limit is reached, or *until(cpu)* is true."""
-        # An alarm already due (armed between runs, or carried over a
-        # limit stop) is serviced before the first dispatch, so a raised
+        # Publish the run limits before firing carried-over events: an
+        # event callback may park/dispatch (kernel idle) and must see
+        # this run's budget, not a stale one.
+        self._run_mc = INFINITY if max_cycles is None else max_cycles
+        self._run_mi = INFINITY if max_instructions is None \
+            else max_instructions
+        self._run_until = until
+        # An event already due (armed between runs, or carried over a
+        # limit stop) fires before the first dispatch, so a raised
         # interrupt is taken before any further instruction executes.
-        if self.cycles >= self.device_alarm and not self.halted:
-            self._service_devices()
+        if self.cycles >= self.events.next_due and not self.halted:
+            self.events.run_due(self.cycles)
         if self.fuse:
             self._run_fused(max_cycles, max_instructions, until)
         else:
             self._run_stepwise(max_cycles, max_instructions, until)
 
     def _run_stepwise(self, max_cycles, max_instructions, until) -> None:
-        """Per-instruction dispatch: limits and devices checked each step."""
+        """Per-instruction dispatch: limits and events checked each step."""
+        events = self.events
         while not self.halted:
             if self.sleeping:
                 if not self._advance_to_next_event(max_cycles):
                     return
                 continue
             self.step()
-            if self.cycles >= self.device_alarm:
-                self._service_devices()
+            if self.cycles >= events.next_due:
+                events.run_due(self.cycles)
             if max_cycles is not None and self.cycles >= max_cycles:
                 return
             if max_instructions is not None and \
@@ -423,19 +438,16 @@ class AvrCpu:
     def _run_fused(self, max_cycles, max_instructions, until) -> None:
         """Superblock dispatch: one closure call per straight-line run.
 
-        Interrupts, device alarms, limits and ``until()`` are checked
+        Interrupts, due events, limits and ``until()`` are checked
         once per block.  A block that could cross ``max_cycles`` or
         ``max_instructions`` is not dispatched; the loop single-steps
         instead, so the stop point is bit-identical to stepwise mode.
         """
         blocks = self._blocks  # cleared in place by invalidate_decode
         irqs = self._pending_irqs
-        mc = float("inf") if max_cycles is None else max_cycles
-        mi = float("inf") if max_instructions is None else max_instructions
-        # Published for self-looping blocks (see _self_loop_body).
-        self._run_mc = mc
-        self._run_mi = mi
-        self._run_until = until
+        events = self.events
+        mc = self._run_mc  # published by run() for self-looping blocks
+        mi = self._run_mi
         while not self.halted:
             if self.sleeping:
                 if not self._advance_to_next_event(max_cycles):
@@ -458,38 +470,32 @@ class AvrCpu:
                         self.step()  # exact-stop epilogue: finish stepwise
                     else:
                         entry[0]()
-            if self.cycles >= self.device_alarm:
-                self._service_devices()
+            if self.cycles >= events.next_due:
+                events.run_due(self.cycles)
             if self.cycles >= mc or self.instret >= mi:
                 return
             if until is not None and until(self):
                 return
 
-    def _service_devices(self) -> None:
-        self.device_alarm = float("inf")
-        for device in self._devices:
-            device.service(self)
-
     def _advance_to_next_event(self, max_cycles: Optional[int]) -> bool:
-        """Fast-forward a sleeping CPU to the next device event.
+        """Fast-forward a sleeping CPU to the next scheduled event.
 
         Returns False when there is nothing to wake up for (deadlock) or
         the cycle limit was consumed by the skip.
         """
-        wake_cycles = [w for w in
-                       (d.next_event_cycle(self) for d in self._devices)
-                       if w is not None]
-        if not wake_cycles:
+        wake = self.events.next_due
+        if wake == INFINITY:
             raise SimulationError(
-                "CPU is sleeping with no device event to wake it")
-        wake = max(min(wake_cycles), self.cycles + 1)
+                "CPU is sleeping with no scheduled event to wake it")
         if max_cycles is not None and wake >= max_cycles:
-            self.idle_cycles += max_cycles - self.cycles
-            self.cycles = max_cycles
+            if max_cycles > self.cycles:
+                self.idle_cycles += max_cycles - self.cycles
+                self.cycles = max_cycles
             return False
-        self.idle_cycles += wake - self.cycles
-        self.cycles = wake
-        self._service_devices()
+        if wake > self.cycles:
+            self.idle_cycles += wake - self.cycles
+            self.cycles = wake
+        self.events.run_due(self.cycles)
         if self._pending_irqs:
             self.sleeping = False
         return True
@@ -896,10 +902,12 @@ class AvrCpu:
             body.append("sr = cpu.sreg")
         body += ["cy = cpu.cycles",
                  "n = cpu.instret",
-                 # The alarm cannot move mid-block; -1 forces an exit
-                 # after one iteration when until() must be evaluated.
+                 # No event can be scheduled mid-block (members touch
+                 # neither I/O nor SP), so next_due is loop-invariant;
+                 # -1 forces an exit after one iteration when until()
+                 # must be evaluated.
                  "da = -1.0 if cpu._run_until is not None "
-                 "else cpu.device_alarm",
+                 "else cpu.events.next_due",
                  "mi = cpu._run_mi",
                  "mc = cpu._run_mc",
                  "while True:"]

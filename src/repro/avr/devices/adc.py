@@ -8,7 +8,10 @@ without any dependency on non-deterministic randomness.
 Conversion timing follows the ATmega128L: a conversion takes 13 ADC
 clocks; with the default /64 prescaler that is 832 CPU cycles.  Programs
 start a conversion by setting ``ADSC`` in ``ADCSRA`` and poll until the
-bit clears (or wait for ``ADIF``).
+bit clears (or wait for ``ADIF``).  Starting a conversion schedules a
+one-shot completion event on the CPU's event queue; a status read that
+lands after the due cycle but before the block boundary completes the
+conversion lazily, so polling observes the exact same timing.
 """
 
 from __future__ import annotations
@@ -32,6 +35,7 @@ class Adc:
         self._cpu = None
         self._busy_until: Optional[int] = None
         self._result = 0
+        self._event = None
 
     @property
     def conversion_cycles(self) -> int:
@@ -83,7 +87,8 @@ class Adc:
     def _write_control(self, value: int) -> None:
         if value & (1 << ioports.ADSC) and self._busy_until is None:
             self._busy_until = self._cpu.cycles + self.conversion_cycles
-            self._cpu.schedule_alarm(self._busy_until)
+            self._event = self._cpu.events.schedule(self._busy_until,
+                                                    self._on_complete)
 
     def _write_mux(self, value: int) -> None:
         self.channel = value & 0x1F
@@ -91,12 +96,10 @@ class Adc:
     def _complete(self) -> None:
         self._result = self.sample_value()
         self._busy_until = None
+        self._cpu.events.cancel(self._event)
+        self._event = None
 
-    # -- device protocol -------------------------------------------------------------
-
-    def service(self, cpu) -> None:
-        if self._busy_until is not None and cpu.cycles >= self._busy_until:
+    def _on_complete(self) -> None:
+        """Scheduled completion (a status read may have beaten us to it)."""
+        if self._busy_until is not None:
             self._complete()
-
-    def next_event_cycle(self, cpu) -> Optional[int]:
-        return self._busy_until

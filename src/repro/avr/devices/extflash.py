@@ -15,7 +15,7 @@ tracks per-page erase counts.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from ...errors import SimulationError
 
@@ -105,9 +105,3 @@ class ExternalFlash:
 
     def attach(self, cpu) -> None:
         self._cpu = cpu
-
-    def service(self, cpu) -> None:
-        pass
-
-    def next_event_cycle(self, cpu) -> Optional[int]:
-        return None

@@ -6,7 +6,7 @@ here to avoid a circular import.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from .. import ioports
 
@@ -27,9 +27,3 @@ class Leds:
     def _write(self, value: int) -> None:
         self.state = value & 0x07
         self.changes.append(self.state)
-
-    def service(self, cpu) -> None:
-        pass
-
-    def next_event_cycle(self, cpu) -> Optional[int]:
-        return None

@@ -2,10 +2,14 @@
 
 On a MICA2 the CC1000 radio is fed byte-by-byte; the behaviourally
 relevant properties for OS benchmarks are a data register with ready
-flags and a per-byte latency.  Transmitted bytes are logged so tests
-and workloads can verify packet contents end-to-end; received bytes are
-injected from the host side (``deliver``), which is how multi-node
-setups wire one node's TX log into another's RX queue.
+flags and a per-byte latency.  Transmitted bytes are logged *with their
+TX cycle* so the network simulator can compute exact arrival times;
+received bytes are injected from the host side (``deliver``), which is
+how multi-node setups wire one node's TX log into another's RX queue.
+
+Each byte written while ready schedules a one-shot "transmitter idle"
+event on the CPU's event queue, so a node sleeping through a TX
+completes it at the exact cycle instead of at a polling boundary.
 """
 
 from __future__ import annotations
@@ -28,9 +32,11 @@ class Radio:
     def __init__(self, byte_cycles: int = DEFAULT_BYTE_CYCLES):
         self.byte_cycles = byte_cycles
         self.transmitted: List[int] = []
+        self.tx_cycles: List[int] = []  # TX cycle of transmitted[i]
         self.rx_queue: Deque[int] = deque()
         self._cpu = None
         self._busy_until: Optional[int] = None
+        self._event = None
 
     def attach(self, cpu) -> None:
         self._cpu = cpu
@@ -63,16 +69,17 @@ class Radio:
         if not self._ready():
             return
         self.transmitted.append(value)
+        self.tx_cycles.append(self._cpu.cycles)
         self._busy_until = self._cpu.cycles + self.byte_cycles
+        self._cpu.events.cancel(self._event)
+        self._event = self._cpu.events.schedule(self._busy_until,
+                                                self._tx_done)
+
+    def _tx_done(self) -> None:
+        self._busy_until = None
+        self._event = None
 
     def _read_data(self) -> int:
         if self.rx_queue:
             return self.rx_queue.popleft()
         return 0
-
-    def service(self, cpu) -> None:
-        if self._busy_until is not None and cpu.cycles >= self._busy_until:
-            self._busy_until = None
-
-    def next_event_cycle(self, cpu) -> Optional[int]:
-        return self._busy_until

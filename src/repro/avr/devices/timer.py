@@ -5,6 +5,11 @@ being ticked per instruction, which keeps the simulator fast.  Timer3
 additionally supports an output-compare interrupt — the wake-up source
 for natively-executing periodic programs (under SenSmart the kernel owns
 Timer3 and applications reach it only through intercepted accesses).
+
+Compare matches are :class:`~repro.sim.Event` callbacks on the CPU's
+event queue: arming (an ``OCR3A``/``TCCR3B`` write) cancels any pending
+match and schedules the next one at its exact cycle; the fire callback
+re-arms for the following counter wrap, as on real hardware.
 """
 
 from __future__ import annotations
@@ -34,12 +39,6 @@ class _TimerBase:
     def reset_to(self, value: int) -> None:
         """Make the counter read *value* at the current cycle."""
         self._base_cycle = self._cpu.cycles - value * self.prescaler
-
-    def service(self, cpu) -> None:  # overridden where interrupts exist
-        pass
-
-    def next_event_cycle(self, cpu) -> Optional[int]:
-        return None
 
     def _install_hooks(self, cpu) -> None:
         raise NotImplementedError
@@ -75,6 +74,7 @@ class Timer3(_TimerBase):
         self.flag = 0
         self._latched_high = 0
         self._fire_cycle: Optional[int] = None
+        self._event = None
 
     def _install_hooks(self, cpu) -> None:
         mem = cpu.mem
@@ -125,7 +125,7 @@ class Timer3(_TimerBase):
         self.flag &= ~value
 
     def _arm(self) -> None:
-        """(Re)compute and latch the cycle of the next compare match."""
+        """(Re)schedule the compare-match event at its exact cycle."""
         self.compare_armed = True
         now = self.count()
         wrap = 0x10000
@@ -133,22 +133,18 @@ class Timer3(_TimerBase):
         if delta == 0:
             delta = wrap  # match at the *next* pass, as on real hardware
         self._fire_cycle = self._cpu.cycles + delta * self.prescaler
-        self._cpu.schedule_alarm(self._fire_cycle)
+        events = self._cpu.events
+        events.cancel(self._event)
+        self._event = events.schedule(self._fire_cycle, self._fire)
 
-    # -- device protocol -----------------------------------------------------
+    def _fire(self) -> None:
+        self.flag |= 1
+        if self.irq_enabled:
+            self._cpu.raise_interrupt(ioports.VECT_TIMER3_COMPA)
+        # The comparator keeps matching once per counter wrap, as on
+        # real hardware; re-arm for the next pass.
+        self._arm()
 
-    def service(self, cpu) -> None:
-        if not self.compare_armed or self._fire_cycle is None:
-            return
-        if cpu.cycles >= self._fire_cycle:
-            self.flag |= 1
-            if self.irq_enabled:
-                cpu.raise_interrupt(ioports.VECT_TIMER3_COMPA)
-            # The comparator keeps matching once per counter wrap, as on
-            # real hardware; re-arm for the next pass.
-            self._arm()
-        else:
-            cpu.schedule_alarm(self._fire_cycle)
-
-    def next_event_cycle(self, cpu) -> Optional[int]:
+    @property
+    def next_fire_cycle(self) -> Optional[int]:
         return self._fire_cycle if self.compare_armed else None

@@ -79,6 +79,12 @@ class SenSmartKernel:
         self.stats = KernelStats()
         self._booted = False
         self._account_from = 0
+        #: True while the node is idle-parked: every task is blocked and
+        #: the run budget ended before the earliest wake, so the kernel
+        #: left the CPU "sleeping" with the pending virtual-timer events
+        #: armed to un-park it (see _dispatch_next / _virtual_timer_fire).
+        self._parked = False
+        self._parked_from = 0
 
         self._load_tasks()
         self.relocator = StackRelocator(
@@ -187,10 +193,13 @@ class SenSmartKernel:
         if address == ioports.OCR3AL:
             ticks = (task._timer_latch_high << 8) | value
             task.timer_period_cycles = self.config.ticks_to_cycles(ticks)
+            self.cpu.events.cancel(task._timer_event)
+            task._timer_event = None
             if task.timer_period_cycles > 0:
                 task.timer_next_fire = self.cpu.cycles + \
                     task.timer_period_cycles
                 task.timer_pending = 0
+                self._arm_virtual_timer(task)
             else:
                 task.timer_next_fire = None
             return
@@ -199,19 +208,33 @@ class SenSmartKernel:
         # TCCR3B writes are accepted and ignored: virtual timers are
         # always armed by the OCR3A write in this ABI.
 
-    def _service_virtual_timers(self) -> None:
-        now = self.cpu.cycles
-        for task in self.tasks.values():
-            if not task.alive or task.timer_next_fire is None:
-                continue
-            while now >= task.timer_next_fire:
-                task.timer_next_fire += task.timer_period_cycles
-                if task.state is TaskState.BLOCKED:
-                    # The fire is consumed by the wake-up itself.
-                    task.wake_cycle = None
-                    self.scheduler.enqueue(task)
-                else:
-                    task.timer_pending += 1
+    def _arm_virtual_timer(self, task: Task) -> None:
+        task._timer_event = self.cpu.events.schedule(
+            task.timer_next_fire,
+            lambda task=task: self._virtual_timer_fire(task))
+
+    def _virtual_timer_fire(self, task: Task) -> None:
+        """A task's periodic virtual timer came due (event callback).
+
+        Fires ride the CPU's event queue, so they land at the exact due
+        cycle (at the next instruction/superblock boundary) instead of
+        waiting for a scheduler tick.  A fire wakes a blocked task — the
+        fire is consumed by the wake-up itself — or accumulates in
+        ``timer_pending`` for a running/ready one, then re-arms for the
+        next period.
+        """
+        task._timer_event = None
+        if not task.alive or task.timer_next_fire is None:
+            return
+        task.timer_next_fire += task.timer_period_cycles
+        self._arm_virtual_timer(task)
+        if task.state is TaskState.BLOCKED:
+            task.wake_cycle = None
+            self.scheduler.enqueue(task)
+            if self._parked:
+                self._unpark()
+        else:
+            task.timer_pending += 1
 
     # -- stack growth -------------------------------------------------------------------
 
@@ -249,7 +272,6 @@ class SenSmartKernel:
 
     def scheduler_tick(self) -> None:
         """Kernel entry from the 1/256 backward-branch trap."""
-        self._service_virtual_timers()
         if not self.config.enable_scheduling:
             return  # protection-only configuration (Figure 5 series)
         self.charge(costs.SCHED_CHECK)
@@ -293,6 +315,9 @@ class SenSmartKernel:
         if task is None or not task.alive:
             return
         task.state = TaskState.TERMINATED
+        self.cpu.events.cancel(task._timer_event)
+        task._timer_event = None
+        task.timer_next_fire = None
         task.exit_reason = reason
         self.stats.terminations.append(f"{task.name}: {reason}")
         self.scheduler.remove(task)
@@ -328,7 +353,20 @@ class SenSmartKernel:
         self.terminate_task(self.current, reason)
 
     def _dispatch_next(self) -> None:
-        """Pick the next task; idle (advance time) when all are blocked."""
+        """Pick the next task; idle (advance time) when all are blocked.
+
+        Idle time rides the event queue: the blocked tasks' virtual
+        timers are scheduled events, so idling is a jump to the earliest
+        wake followed by ``run_due``.  When the current run's cycle
+        budget (``cpu._run_mc``, published by ``AvrCpu.run``) ends
+        before the earliest wake, the node *parks*: it consumes the
+        remaining budget as idle time and leaves the CPU sleeping with
+        the events still armed.  A later run resumes the skip, and the
+        eventual virtual-timer fire un-parks and dispatches — this is
+        what lets the network co-simulator slice idle periods across
+        nodes without busy-spinning anyone.
+        """
+        cpu = self.cpu
         while True:
             task = self.scheduler.pick()
             if task is not None:
@@ -338,13 +376,35 @@ class SenSmartKernel:
                            if t.state is TaskState.BLOCKED
                            and t.wake_cycle is not None]
             if not wake_cycles:
-                self.cpu.halted = True  # no runnable or wakeable task left
+                cpu.halted = True  # no runnable or wakeable task left
                 return
             wake = min(wake_cycles)
-            if wake > self.cpu.cycles:
-                self.stats.idle_cycles += wake - self.cpu.cycles
-                self.cpu.cycles = wake
-            self._service_virtual_timers()
+            budget = cpu._run_mc
+            if wake > budget:
+                if budget > cpu.cycles:
+                    self.stats.idle_cycles += int(budget) - cpu.cycles
+                    cpu.cycles = int(budget)
+                self._parked = True
+                self._parked_from = cpu.cycles
+                cpu.sleeping = True
+                return
+            if wake > cpu.cycles:
+                self.stats.idle_cycles += wake - cpu.cycles
+                cpu.cycles = wake
+            cpu.events.run_due(cpu.cycles)
+
+    def _unpark(self) -> None:
+        """Resume from an idle park (called by the waking timer fire).
+
+        The span the CPU slept through since parking is kernel idle
+        time; account it, wake the CPU, and dispatch whatever the fire
+        just enqueued.
+        """
+        self._parked = False
+        if self.cpu.cycles > self._parked_from:
+            self.stats.idle_cycles += self.cpu.cycles - self._parked_from
+        self.cpu.sleeping = False
+        self._dispatch_next()
 
     def _switch_to(self, task: Task, charge: int) -> None:
         if self.current is not None:

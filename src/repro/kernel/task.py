@@ -41,6 +41,8 @@ class Task:
     timer_next_fire: Optional[int] = None
     timer_pending: int = 0         # fires not yet consumed by SLEEP
     _timer_latch_high: int = 0     # OCR3AH write latch
+    #: The scheduled fire on the CPU's event queue (repro.sim.Event).
+    _timer_event: Optional[object] = None
 
     # -- accounting -----------------------------------------------------------
     cycles_used: int = 0

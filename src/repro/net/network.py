@@ -1,15 +1,35 @@
-"""A small network simulator over SensorNode radios.
+"""Event-driven multi-node co-simulation over SensorNode radios.
 
 The paper's setting is *networked* sensor applications; this module
-lets several :class:`~repro.kernel.SensorNode` instances run in
-lockstep with their radios wired through lossy, delayed byte links —
-one node's TX log feeds another's RX queue.
+wires several :class:`~repro.kernel.SensorNode` instances together
+through lossy, delayed byte links — one node's TX log feeds another's
+RX queue.
 
-Timing model: nodes advance in fixed quanta of simulated cycles; bytes
-transmitted during a quantum arrive at the receiver after the link
-latency (rounded up to the next quantum boundary).  Loss is
-deterministic, driven by a per-link LFSR, so network runs reproduce
-exactly.
+Timing model.  Every node's CPU is a :class:`~repro.sim.SimClock`; all
+clocks share one epoch (cycle 0 = network start), so cycle counts are
+directly comparable across nodes.  A byte transmitted at cycle ``T``
+over a link with latency ``L`` arrives at exactly ``T + L`` — the ferry
+schedules a delivery event on the *receiver's* event queue at that due
+cycle, so arrival lands with cycle precision no matter how coarsely the
+nodes are interleaved, and a byte is never delivered early.
+
+Scheduling is conservative event-driven co-simulation: each step picks
+the node that is furthest behind in simulated time and runs it to its
+*horizon* — the earliest cycle at which any other node could still
+affect it.  A sender that is idle (sleeping or kernel-parked) cannot
+transmit before its own next event, so the horizon over a link is
+``earliest-possible-TX + latency``; idle-heavy topologies therefore
+advance in strides of whole sleep periods instead of fixed quanta, and
+sleeping nodes skip time instead of spinning.
+
+The pre-refactor fixed-quantum scheduler survives as
+:meth:`Network.run_lockstep` — it is the wall-clock baseline that
+``benchmarks/bench_network.py`` measures the event-driven core against
+(delivery is event-scheduled in both modes, so lockstep is merely
+slower, not differently-timed on the TX side).
+
+Loss is deterministic, driven by a per-link LFSR, so network runs
+reproduce exactly.
 """
 
 from __future__ import annotations
@@ -19,14 +39,9 @@ from typing import Dict, List, Optional, Tuple
 
 from ..errors import ReproError
 from ..kernel.node import SensorNode
+from ..sim.events import INFINITY
 
 DEFAULT_QUANTUM_CYCLES = 10_000
-
-
-@dataclass
-class _PendingByte:
-    value: int
-    due_cycle: int  # receiver-local cycle when it arrives
 
 
 @dataclass
@@ -39,9 +54,11 @@ class Link:
     loss_permille: int = 0  # deterministic loss rate, 0..1000
     _tx_cursor: int = 0
     _lfsr: int = 0xB5AD
-    in_flight: List[_PendingByte] = field(default_factory=list)
     delivered: int = 0
     dropped: int = 0
+    #: Receiver-clock cycle at which each delivered byte arrived
+    #: (always the sender's TX cycle plus ``latency_cycles``).
+    arrival_cycles: List[int] = field(default_factory=list)
 
     def _lose(self) -> bool:
         if self.loss_permille <= 0:
@@ -53,12 +70,19 @@ class Link:
 
 
 class Network:
-    """Runs several nodes in lockstep and ferries radio bytes."""
+    """Co-simulates several nodes and ferries radio bytes cycle-exactly.
+
+    ``quantum_cycles`` only parameterizes the legacy
+    :meth:`run_lockstep` baseline; the event-driven :meth:`run` derives
+    its strides from link latencies and node event queues.
+    """
 
     def __init__(self, quantum_cycles: int = DEFAULT_QUANTUM_CYCLES):
         self.quantum_cycles = quantum_cycles
         self.nodes: Dict[str, SensorNode] = {}
         self.links: List[Link] = []
+        self._link_index: Dict[Tuple[str, str], Link] = {}
+        self._inbound: Dict[str, List[Link]] = {}
 
     # -- topology ---------------------------------------------------------------
 
@@ -68,26 +92,109 @@ class Network:
         self.nodes[name] = node
         return node
 
+    def add_link(self, link: Link) -> Link:
+        """Register *link*, maintaining the (source, destination) index."""
+        for name in (link.source, link.destination):
+            if name not in self.nodes:
+                raise ReproError(f"unknown node {name!r}")
+        key = (link.source, link.destination)
+        if key in self._link_index:
+            raise ReproError(
+                f"duplicate link {link.source!r} -> {link.destination!r}")
+        self.links.append(link)
+        self._link_index[key] = link
+        self._inbound.setdefault(link.destination, []).append(link)
+        return link
+
     def connect(self, source: str, destination: str,
                 latency_cycles: int = 2_000,
                 loss_permille: int = 0,
                 bidirectional: bool = False) -> None:
-        for name in (source, destination):
-            if name not in self.nodes:
-                raise ReproError(f"unknown node {name!r}")
-        self.links.append(Link(source=source, destination=destination,
+        self.add_link(Link(source=source, destination=destination,
+                           latency_cycles=latency_cycles,
+                           loss_permille=loss_permille))
+        if bidirectional:
+            self.add_link(Link(source=destination, destination=source,
                                latency_cycles=latency_cycles,
                                loss_permille=loss_permille))
-        if bidirectional:
-            self.links.append(Link(source=destination, destination=source,
-                                   latency_cycles=latency_cycles,
-                                   loss_permille=loss_permille))
 
     # -- execution -----------------------------------------------------------------
 
     def run(self, max_cycles: int = 100_000_000,
             until_all_finished: bool = True) -> None:
-        """Advance all nodes in lockstep until done or out of budget."""
+        """Event-driven co-simulation: always advance the lagging node.
+
+        Each iteration ferries freshly transmitted bytes (as delivery
+        events on the receivers' queues), picks the unfinished node with
+        the lowest cycle count, and runs it to the earliest cycle at
+        which any inbound sender could still reach it.  Because the
+        chosen node trails every sender, that horizon always lies ahead
+        of it, so every iteration makes progress until all nodes finish
+        or exhaust *max_cycles*.  (*until_all_finished* is accepted for
+        API compatibility; both settings stop at that same point.)
+        """
+        del until_all_finished
+        while True:
+            self._ferry()
+            lagging: Optional[SensorNode] = None
+            for node in self.nodes.values():
+                if node.finished or node.cpu.cycles >= max_cycles:
+                    continue
+                if lagging is None or node.cpu.cycles < lagging.cpu.cycles:
+                    lagging = node
+            if lagging is None:
+                return
+            horizon = self._horizon(lagging, max_cycles)
+            before = lagging.cpu.cycles
+            lagging.run(max_cycles=horizon)
+            if lagging.cpu.cycles <= before and not lagging.finished:
+                raise ReproError(
+                    "network made no progress (node stuck at cycle "
+                    f"{before})")
+
+    def _horizon(self, node: SensorNode, max_cycles: int) -> int:
+        """Earliest cycle another node could still influence *node*.
+
+        In-flight bytes are already events on the node's own queue, so
+        only *future* transmissions matter: a sender cannot put a byte
+        on the air before it next executes an instruction, which for an
+        idle (sleeping/parked) sender is its own next event.
+        """
+        name = self._name_of(node)
+        horizon = max_cycles
+        for link in self._inbound.get(name, ()):
+            src = self.nodes[link.source]
+            tx = self._earliest_tx(src)
+            if tx is INFINITY or tx == INFINITY:
+                continue
+            horizon = min(horizon, int(tx) + link.latency_cycles)
+        return max(horizon, node.cpu.cycles + 1)
+
+    @staticmethod
+    def _earliest_tx(src: SensorNode) -> float:
+        if src.finished:
+            return INFINITY
+        cpu = src.cpu
+        if cpu.sleeping:
+            return max(cpu.cycles, cpu.events.next_due)
+        return cpu.cycles
+
+    def _name_of(self, node: SensorNode) -> str:
+        for name, candidate in self.nodes.items():
+            if candidate is node:
+                return name
+        raise ReproError("node not registered")  # pragma: no cover
+
+    def run_lockstep(self, max_cycles: int = 100_000_000,
+                     until_all_finished: bool = True) -> None:
+        """Fixed-quantum lockstep baseline (pre-refactor scheduler).
+
+        Advances every node ``quantum_cycles`` per pass and ferries
+        between passes.  Byte arrivals are still event-scheduled on the
+        receivers' queues, so delivery is never early — but an idle
+        node is visited once per quantum, which is exactly the overhead
+        the event-driven :meth:`run` eliminates.
+        """
         while True:
             active = [n for n in self.nodes.values() if not n.finished]
             if until_all_finished and not active:
@@ -110,37 +217,44 @@ class Network:
                 return  # everyone is stuck (e.g. waiting on RX forever)
 
     def _ferry(self) -> None:
-        """Move newly transmitted bytes onto links; deliver due bytes."""
+        """Schedule delivery events for newly transmitted bytes.
+
+        Arrival is computed from the *sender's* TX cycle: a byte
+        transmitted at ``T`` arrives at ``T + latency`` on the
+        receiver's clock (same epoch), delivered by an event on the
+        receiver's queue — never early, exact to the cycle.
+        """
         for link in self.links:
             src = self.nodes[link.source]
             dst = self.nodes[link.destination]
-            fresh = src.radio.transmitted[link._tx_cursor:]
-            link._tx_cursor = len(src.radio.transmitted)
-            for value in fresh:
+            radio = src.radio
+            cursor = link._tx_cursor
+            fresh = radio.transmitted[cursor:]
+            if not fresh:
+                continue
+            tx_cycles = radio.tx_cycles[cursor:]
+            link._tx_cursor = len(radio.transmitted)
+            for value, tx_cycle in zip(fresh, tx_cycles):
                 if link._lose():
                     link.dropped += 1
                     continue
-                link.in_flight.append(_PendingByte(
-                    value=value,
-                    due_cycle=dst.cpu.cycles + link.latency_cycles))
-            still: List[_PendingByte] = []
-            for pending in link.in_flight:
-                if pending.due_cycle <= dst.cpu.cycles + \
-                        self.quantum_cycles:
-                    dst.radio.deliver(bytes([pending.value]))
-                    link.delivered += 1
-                else:
-                    still.append(pending)
-            link.in_flight = still
+                due = tx_cycle + link.latency_cycles
+                dst.cpu.events.schedule(
+                    due,
+                    lambda link=link, dst=dst, value=value, due=due:
+                        self._deliver(link, dst, value, due))
+
+    def _deliver(self, link: Link, dst: SensorNode, value: int,
+                 due: int) -> None:
+        dst.radio.rx_queue.append(value)
+        link.delivered += 1
+        link.arrival_cycles.append(due)
 
     # -- inspection ------------------------------------------------------------------
 
     def link_between(self, source: str,
                      destination: str) -> Optional[Link]:
-        for link in self.links:
-            if link.source == source and link.destination == destination:
-                return link
-        return None
+        return self._link_index.get((source, destination))
 
     def stats(self) -> List[Tuple[str, str, int, int]]:
         return [(link.source, link.destination, link.delivered,

@@ -1,0 +1,5 @@
+"""Event-driven simulation core shared by CPU, devices, kernel, net."""
+
+from .events import INFINITY, Event, EventQueue, SimClock
+
+__all__ = ["INFINITY", "Event", "EventQueue", "SimClock"]

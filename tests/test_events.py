@@ -1,0 +1,117 @@
+"""Unit tests for the simulation core: EventQueue and SimClock."""
+
+from __future__ import annotations
+
+from repro.sim import INFINITY, EventQueue, SimClock
+
+
+def test_empty_queue_next_due_is_infinity():
+    queue = EventQueue()
+    assert queue.next_due == INFINITY
+    assert len(queue) == 0
+    assert queue.run_due(1_000_000) == 0
+
+
+def test_schedule_updates_next_due_to_earliest():
+    queue = EventQueue()
+    queue.schedule(500, lambda: None)
+    assert queue.next_due == 500
+    queue.schedule(200, lambda: None)
+    assert queue.next_due == 200
+    queue.schedule(900, lambda: None)
+    assert queue.next_due == 200
+    assert len(queue) == 3
+
+
+def test_run_due_fires_in_due_then_seq_order():
+    queue = EventQueue()
+    fired = []
+    queue.schedule(100, lambda: fired.append("b"))
+    queue.schedule(50, lambda: fired.append("a"))
+    queue.schedule(100, lambda: fired.append("c"))  # same cycle, later seq
+    assert queue.run_due(100) == 3
+    assert fired == ["a", "b", "c"]
+    assert queue.next_due == INFINITY
+
+
+def test_run_due_leaves_future_events():
+    queue = EventQueue()
+    fired = []
+    queue.schedule(10, lambda: fired.append(10))
+    queue.schedule(20, lambda: fired.append(20))
+    assert queue.run_due(15) == 1
+    assert fired == [10]
+    assert queue.next_due == 20
+
+
+def test_cancelled_event_never_fires():
+    queue = EventQueue()
+    fired = []
+    event = queue.schedule(10, lambda: fired.append("no"))
+    queue.schedule(20, lambda: fired.append("yes"))
+    queue.cancel(event)
+    assert event.cancelled
+    assert queue.next_due == 20  # cancelling the head refreshes next_due
+    assert queue.run_due(100) == 1
+    assert fired == ["yes"]
+
+
+def test_cancel_tolerates_none_and_double_cancel():
+    queue = EventQueue()
+    queue.cancel(None)
+    event = queue.schedule(10, lambda: None)
+    queue.cancel(event)
+    queue.cancel(event)
+    assert queue.next_due == INFINITY
+
+
+def test_callback_may_schedule_immediate_event():
+    """A callback scheduling an event due <= now fires in the same call."""
+    queue = EventQueue()
+    fired = []
+
+    def first():
+        fired.append("first")
+        queue.schedule(5, lambda: fired.append("chained"))
+
+    queue.schedule(10, first)
+    assert queue.run_due(10) == 2
+    assert fired == ["first", "chained"]
+
+
+def test_callback_may_cancel_pending_event():
+    queue = EventQueue()
+    fired = []
+    victim = queue.schedule(20, lambda: fired.append("victim"))
+    queue.schedule(10, lambda: queue.cancel(victim))
+    assert queue.run_due(30) == 1
+    assert fired == []
+
+
+def test_rearming_pattern_keeps_firing():
+    """The Timer3/virtual-timer idiom: each fire re-schedules itself."""
+    queue = EventQueue()
+    fires = []
+
+    def fire(due=100):
+        fires.append(due)
+        if due < 500:
+            queue.schedule(due + 100, lambda: fire(due + 100))
+
+    queue.schedule(100, fire)
+    for now in range(0, 601, 50):
+        queue.run_due(now)
+    assert fires == [100, 200, 300, 400, 500]
+
+
+def test_simclock_skip_to_accounts_idle():
+    clock = SimClock()
+    fired = []
+    clock.events.schedule(700, lambda: fired.append(clock.cycles))
+    clock.skip_to(1_000)
+    assert clock.cycles == 1_000
+    assert clock.idle_cycles == 1_000
+    assert fired == [1_000]  # fired after the jump, at the new now
+    clock.skip_to(500)  # never moves backwards
+    assert clock.cycles == 1_000
+    assert clock.idle_cycles == 1_000

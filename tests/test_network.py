@@ -151,3 +151,149 @@ def test_bidirectional_creates_two_links():
     net.connect("a", "b", bidirectional=True)
     assert net.link_between("a", "b") is not None
     assert net.link_between("b", "a") is not None
+
+
+def test_duplicate_link_rejected():
+    net = Network()
+    net.add_node("a", SensorNode.from_sources([("s", SENDER)]))
+    net.add_node("b", SensorNode.from_sources([("r", RECEIVER)]))
+    net.connect("a", "b")
+    with pytest.raises(ReproError):
+        net.connect("a", "b")
+
+
+# -- event-driven co-simulation ------------------------------------------------
+
+def _sender_src(start: int, count: int = 6) -> str:
+    return f"""
+main:
+    ldi r20, {count}
+    ldi r16, {start}
+send:
+wait_tx:
+    lds r19, {ioports.UCSR0A}
+    sbrs r19, {ioports.UDRE}
+    rjmp wait_tx
+    sts {ioports.UDR0}, r16
+    inc r16
+    dec r20
+    brne send
+    break
+"""
+
+
+def _receiver_src(count: int) -> str:
+    return f"""
+.bss received, {count}
+main:
+    ldi r20, {count}
+    ldi r26, lo8(received)
+    ldi r27, hi8(received)
+recv:
+wait_rx:
+    lds r17, {ioports.UCSR0A}
+    sbrs r17, {RXC}
+    rjmp wait_rx
+    lds r16, {ioports.UDR0}
+    st X+, r16
+    dec r20
+    brne recv
+    break
+"""
+
+
+def test_four_node_relay_chain():
+    """src -> r1 -> r2 -> dst: per-link counts and end-to-end payload."""
+    net = Network()
+    net.add_node("src", SensorNode.from_sources([("sender", SENDER)]))
+    net.add_node("r1", SensorNode.from_sources([("relay", RELAY)]))
+    net.add_node("r2", SensorNode.from_sources([("relay", RELAY)]))
+    net.add_node("dst", SensorNode.from_sources([("receiver", RECEIVER)]))
+    net.connect("src", "r1", latency_cycles=1_000)
+    net.connect("r1", "r2", latency_cycles=3_000)
+    net.connect("r2", "dst", latency_cycles=500)
+    net.run(max_cycles=50_000_000)
+    assert all(node.finished for node in net.nodes.values())
+    assert heap_bytes(net.nodes["dst"], "receiver", 6) == b"012345"
+    for src, dst in (("src", "r1"), ("r1", "r2"), ("r2", "dst")):
+        link = net.link_between(src, dst)
+        assert (link.delivered, link.dropped) == (6, 0), (src, dst)
+
+
+def test_star_topology():
+    """Three leaf senders feed one hub; every link delivers its bytes."""
+    net = Network()
+    starts = {"leaf0": 0x30, "leaf1": 0x40, "leaf2": 0x50}
+    for name, start in starts.items():
+        net.add_node(name, SensorNode.from_sources(
+            [("sender", _sender_src(start))]))
+    net.add_node("hub", SensorNode.from_sources(
+        [("receiver", _receiver_src(18))]))
+    for index, name in enumerate(starts):
+        net.connect(name, "hub", latency_cycles=1_000 * (index + 1))
+    net.run(max_cycles=50_000_000)
+    assert all(node.finished for node in net.nodes.values())
+    for name in starts:
+        link = net.link_between(name, "hub")
+        assert (link.delivered, link.dropped) == (6, 0), name
+    received = heap_bytes(net.nodes["hub"], "receiver", 18)
+    expected = bytes(sorted(
+        start + offset for start in starts.values() for offset in range(6)))
+    assert bytes(sorted(received)) == expected
+
+
+def test_arrivals_are_cycle_exact():
+    """Every delivered byte arrives at exactly TX cycle + link latency."""
+    latency = 1_234
+    net = Network()
+    net.add_node("tx", SensorNode.from_sources([("sender", SENDER)]))
+    net.add_node("rx", SensorNode.from_sources([("receiver", RECEIVER)]))
+    net.connect("tx", "rx", latency_cycles=latency)
+    net.run(max_cycles=5_000_000)
+    link = net.link_between("tx", "rx")
+    tx_cycles = net.nodes["tx"].radio.tx_cycles
+    assert len(tx_cycles) == 6
+    assert link.arrival_cycles == [tx + latency for tx in tx_cycles]
+
+
+def _node_state(node: SensorNode):
+    cpu = node.cpu
+    return (bytes(cpu.r), cpu.sreg, cpu.pc, cpu.sp, cpu.cycles,
+            cpu.instret, bytes(cpu.mem.data), cpu.halted,
+            node.kernel.stats.context_switches)
+
+
+def test_single_node_network_identical_to_standalone():
+    """Wrapping one node in a Network must not perturb its execution."""
+    standalone = SensorNode.from_sources([("sender", SENDER)])
+    standalone.run(max_cycles=5_000_000)
+
+    net = Network()
+    wrapped = net.add_node("solo", SensorNode.from_sources(
+        [("sender", SENDER)]))
+    net.run(max_cycles=5_000_000)
+
+    assert standalone.finished and wrapped.finished
+    assert _node_state(standalone) == _node_state(wrapped)
+
+
+def test_network_identical_across_execution_modes():
+    """The relay chain lands in the same state fused and stepwise."""
+    outcomes = []
+    for fuse in (True, False):
+        net = Network()
+        net.add_node("src", SensorNode.from_sources(
+            [("sender", SENDER)], fuse=fuse))
+        net.add_node("mid", SensorNode.from_sources(
+            [("relay", RELAY)], fuse=fuse))
+        net.add_node("dst", SensorNode.from_sources(
+            [("receiver", RECEIVER)], fuse=fuse))
+        net.connect("src", "mid", latency_cycles=1_000)
+        net.connect("mid", "dst", latency_cycles=1_000)
+        net.run(max_cycles=20_000_000)
+        assert all(node.finished for node in net.nodes.values())
+        outcomes.append((
+            [_node_state(node) for node in net.nodes.values()],
+            net.stats(),
+            [link.arrival_cycles for link in net.links]))
+    assert outcomes[0] == outcomes[1]

@@ -186,31 +186,26 @@ main:
     assert cpu.r[16] == 1 and cpu.r[17] == 9
 
 
-# -- device alarms landing mid-block ------------------------------------------
+# -- events landing mid-block -------------------------------------------------
 
 class _AlarmProbe:
-    """Device that records the cycle at which it is finally serviced."""
+    """Device that records the cycle at which its event finally fires."""
 
     def __init__(self, due: int):
         self.due = due
         self.serviced_at = None
 
     def attach(self, cpu) -> None:
-        cpu.schedule_alarm(self.due)
+        self._cpu = cpu
+        cpu.events.schedule(self.due, self._fire)
 
-    def service(self, cpu) -> None:
+    def _fire(self) -> None:
         if self.serviced_at is None:
-            if cpu.cycles >= self.due:
-                self.serviced_at = cpu.cycles
-            else:
-                cpu.schedule_alarm(self.due)
-
-    def next_event_cycle(self, cpu):
-        return None if self.serviced_at is not None else self.due
+            self.serviced_at = self._cpu.cycles
 
 
 def test_alarm_due_mid_block_serviced_before_next_dispatch():
-    # A long straight-line block looped forever: every alarm cycle falls
+    # A long straight-line block looped forever: every event cycle falls
     # inside some fused block.
     body = "    add r16, r17\n" * 40
     source = "main:\n" + body + "    rjmp main\n"
