@@ -2,5 +2,8 @@
 
 from .inflation import inflation_breakdown
 from .report import format_table
+from .static import (analyze_program, build_cfg, lint_image,
+                     lint_sources)
 
-__all__ = ["inflation_breakdown", "format_table"]
+__all__ = ["inflation_breakdown", "format_table",
+           "analyze_program", "build_cfg", "lint_image", "lint_sources"]

@@ -1,0 +1,253 @@
+"""Control-flow and call-graph construction over decoded programs.
+
+Builds on the rewriter's basic blocks (:mod:`repro.rewriter.blocks`) but
+adds the edges the rewriter never needed: branch targets, fall-throughs,
+skip shadows, call edges, and a conservative resolution of indirect
+control flow.  ``IJMP``/``ICALL`` targets are resolved from
+
+1. a block-local ``LDI r30/r31`` constant pair reaching the site, else
+2. the program-wide *address pool*: every ``LDI`` lo8/hi8 pair loading
+   the Z registers anywhere, plus every ``.dw`` data word whose value is
+   an instruction address (function-pointer tables), else
+3. every label in the symbol list (fully conservative fallback).
+
+The same builder works on a naturalized program's item list: patched
+sites are 32-bit ``JMP``\\ s whose trampoline targets fall outside the
+body and are recorded as *external* edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ...avr.instruction import DataWord, Instruction
+from ...avr.isa import Kind
+from ...rewriter.blocks import BasicBlock, build_blocks
+
+#: Mnemonics that never fall through to the next instruction.
+_NO_FALLTHROUGH = frozenset({"RJMP", "JMP", "IJMP", "RET", "RETI", "BREAK"})
+
+
+@dataclass
+class CfgNode:
+    """One basic block plus its outgoing edges."""
+
+    block: BasicBlock
+    successors: Tuple[int, ...] = ()      # start addresses of successors
+    calls: Tuple[Tuple[int, int], ...] = ()  # (call-site address, callee)
+    external: Tuple[int, ...] = ()        # targets outside the item list
+    indirect_site: Optional[int] = None   # IJMP/ICALL address, if any
+
+    @property
+    def start(self) -> int:
+        return self.block.start
+
+
+@dataclass
+class ControlFlowGraph:
+    """CFG + call edges for one program's item list."""
+
+    entry: int
+    nodes: Dict[int, CfgNode] = field(default_factory=dict)
+    labels: Dict[str, int] = field(default_factory=dict)
+    #: IJMP/ICALL sites whose targets fell back to the all-labels set.
+    unresolved_indirect: List[int] = field(default_factory=list)
+
+    @property
+    def instructions(self) -> Dict[int, Instruction]:
+        table: Dict[int, Instruction] = {}
+        for node in self.nodes.values():
+            for instruction in node.block.instructions:
+                table[instruction.address] = instruction
+        return table
+
+    def node_containing(self, address: int) -> Optional[CfgNode]:
+        for node in self.nodes.values():
+            if node.block.start <= address < node.block.end:
+                return node
+        return None
+
+    def reachable_blocks(self, start: int) -> Set[int]:
+        """Block starts reachable from *start* along successor edges
+        (call edges are stepped over, not entered)."""
+        seen: Set[int] = set()
+        work = [start]
+        while work:
+            current = work.pop()
+            if current in seen or current not in self.nodes:
+                continue
+            seen.add(current)
+            work.extend(self.nodes[current].successors)
+        return seen
+
+    def function_entries(self) -> Set[int]:
+        """The program entry plus every (direct or resolved indirect)
+        call target."""
+        entries = {self.entry}
+        for node in self.nodes.values():
+            entries.update(callee for _, callee in node.calls)
+        return entries
+
+    def call_edges(self, entry: int) -> List[Tuple[int, int]]:
+        """(site, callee) pairs inside the function rooted at *entry*."""
+        edges: List[Tuple[int, int]] = []
+        for start in sorted(self.reachable_blocks(entry)):
+            edges.extend(self.nodes[start].calls)
+        return edges
+
+
+def _split_blocks(blocks: List[BasicBlock],
+                  extra_leaders: Set[int]) -> List[BasicBlock]:
+    """Split blocks at *extra_leaders* (skip-shadow targets are leaders
+    for CFG purposes even though the rewriter's grouping pass does not
+    need the cut)."""
+    result: List[BasicBlock] = []
+    for block in blocks:
+        current = BasicBlock(start=block.start)
+        result.append(current)
+        for instruction in block.instructions:
+            if instruction.address in extra_leaders and \
+                    current.instructions:
+                current = BasicBlock(start=instruction.address)
+                result.append(current)
+            current.instructions.append(instruction)
+    return [block for block in result if block.instructions]
+
+
+def _address_pool(items: Sequence, addresses: Set[int]) -> Set[int]:
+    """Program-wide indirect-target candidates: LDI-loaded Z constants
+    and ``.dw`` words that name instruction addresses."""
+    pool: Set[int] = set()
+    lo: Optional[int] = None
+    hi: Optional[int] = None
+    for item in items:
+        if isinstance(item, DataWord):
+            if item.value in addresses:
+                pool.add(item.value)
+            continue
+        if item.mnemonic == "LDI" and item.operands[0] in (30, 31):
+            if item.operands[0] == 30:
+                lo = item.operands[1]
+            else:
+                hi = item.operands[1]
+            if lo is not None and hi is not None:
+                candidate = lo | (hi << 8)
+                if candidate in addresses:
+                    pool.add(candidate)
+    return pool
+
+
+def _local_z_values(block: BasicBlock) -> Dict[int, Optional[int]]:
+    """Map each instruction address in *block* to the statically known
+    Z value reaching it, when an LDI pair fully determines it."""
+    from ...rewriter.grouping import _writes_register
+    known: Dict[int, Optional[int]] = {}
+    lo: Optional[int] = None
+    hi: Optional[int] = None
+    for instruction in block.instructions:
+        value = lo | (hi << 8) if lo is not None and hi is not None \
+            else None
+        known[instruction.address] = value
+        if instruction.mnemonic == "LDI" and \
+                instruction.operands[0] in (30, 31):
+            if instruction.operands[0] == 30:
+                lo = instruction.operands[1]
+            else:
+                hi = instruction.operands[1]
+        elif _writes_register(instruction, 30):
+            lo = hi = None
+    return known
+
+
+def build_cfg(items: Sequence, entry: int,
+              labels: Optional[Dict[str, int]] = None) -> ControlFlowGraph:
+    """Build the CFG for an item list (compiled or naturalized)."""
+    labels = labels or {}
+    instructions = [item for item in items if isinstance(item, Instruction)]
+    by_address = {ins.address: ins for ins in instructions}
+    addresses = set(by_address)
+
+    blocks = build_blocks(items)
+    # Skip shadows: the instruction *after* the skipped one is a CFG
+    # leader (it may sit mid-block in the rewriter's partition).
+    skip_targets: Set[int] = set()
+    for ins in instructions:
+        if ins.kind & Kind.SKIP:
+            shadow = by_address.get(ins.next_address)
+            if shadow is not None and shadow.next_address in addresses:
+                skip_targets.add(shadow.next_address)
+    pool = _address_pool(items, addresses)
+    all_labels = {address for address in labels.values()
+                  if address in addresses}
+    # Indirect-branch candidates and skip shadows must start blocks, and
+    # an ICALL must *end* one so the edge builder sees it last (the
+    # rewriter's partition never needed those cuts: ICALL falls through).
+    icall_splits = {ins.next_address for ins in instructions
+                    if ins.mnemonic == "ICALL"
+                    and ins.next_address in addresses}
+    starts = {block.start for block in blocks}
+    blocks = _split_blocks(
+        blocks, (skip_targets | pool | all_labels | icall_splits) - starts)
+
+    cfg = ControlFlowGraph(entry=entry, labels=dict(labels))
+    for block in blocks:
+        node = CfgNode(block=block)
+        cfg.nodes[block.start] = node
+        last = block.instructions[-1]
+        mnemonic = last.mnemonic
+        successors: List[int] = []
+        calls: List[Tuple[int, int]] = []
+        external: List[int] = []
+        fallthrough = last.next_address \
+            if last.next_address in addresses else None
+
+        def to(target: int) -> None:
+            (successors if target in addresses else external).append(target)
+
+        if mnemonic in ("RET", "RETI", "BREAK"):
+            pass
+        elif mnemonic in ("RJMP", "JMP"):
+            to(last.branch_target())
+        elif mnemonic in ("BRBS", "BRBC"):
+            to(last.branch_target())
+            if fallthrough is not None:
+                successors.append(fallthrough)
+        elif mnemonic in ("CALL", "RCALL"):
+            target = last.branch_target()
+            if target in addresses:
+                calls.append((last.address, target))
+            else:
+                external.append(target)
+            if fallthrough is not None:
+                successors.append(fallthrough)
+        elif mnemonic in ("IJMP", "ICALL"):
+            node.indirect_site = last.address
+            local = _local_z_values(block).get(last.address)
+            if local is not None and local in addresses:
+                candidates: Set[int] = {local}
+            elif pool:
+                candidates = set(pool)
+            else:
+                candidates = set(all_labels)
+                cfg.unresolved_indirect.append(last.address)
+            if mnemonic == "IJMP":
+                successors.extend(sorted(candidates))
+            else:
+                calls.extend((last.address, target)
+                             for target in sorted(candidates))
+                if fallthrough is not None:
+                    successors.append(fallthrough)
+        elif last.kind & Kind.SKIP:
+            if fallthrough is not None:
+                successors.append(fallthrough)
+                shadow = by_address[fallthrough]
+                if shadow.next_address in addresses:
+                    successors.append(shadow.next_address)
+        elif fallthrough is not None:
+            successors.append(fallthrough)
+
+        node.successors = tuple(dict.fromkeys(successors))
+        node.calls = tuple(calls)
+        node.external = tuple(external)
+    return cfg

@@ -6,6 +6,7 @@ Subcommands::
     sensmart run FILE [FILE ...]       # run programs under SenSmart
     sensmart rewrite FILE              # show a naturalized listing
     sensmart asm FILE                  # assemble + disassemble a file
+    sensmart lint [FILE ...]           # soundness-lint + stack bounds
 """
 
 from __future__ import annotations
@@ -83,6 +84,36 @@ def _cmd_rewrite(args: argparse.Namespace) -> int:
     print(f"; {image.pool.count} trampolines "
           f"({image.pool.requests} requests before merging)")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.static import analyze_program, lint_image
+    from .experiments.extra_static import WORKLOAD_NAMES, \
+        _workload_sources
+
+    targets = []
+    if args.files:
+        sources = [(Path(f).stem, _read_program(Path(f)))
+                   for f in args.files]
+        targets.append(("cli", sources))
+    if args.workloads or not args.files:
+        targets.extend((name, _workload_sources(name, quick=True))
+                       for name in WORKLOAD_NAMES)
+
+    failures = 0
+    for label, sources in targets:
+        image = link_image(sources)
+        report = lint_image(image)
+        print(f"--- {label} ---")
+        print(report.render())
+        if not report.ok:
+            failures += 1
+        if args.bounds:
+            for task in image.tasks:
+                analysis = analyze_program(task.natural.program)
+                print(analysis.render())
+        print()
+    return 1 if failures else 0
 
 
 def _cmd_asm(args: argparse.Namespace) -> int:
@@ -194,6 +225,17 @@ def build_parser() -> argparse.ArgumentParser:
     asm = sub.add_parser("asm", help="assemble and list a program")
     asm.add_argument("file")
     asm.set_defaults(func=_cmd_asm)
+
+    lint = sub.add_parser(
+        "lint", help="verify rewriter soundness of naturalized images")
+    lint.add_argument("files", nargs="*",
+                      help="programs to link into one image and lint "
+                           "(default: the bundled workloads)")
+    lint.add_argument("--workloads", action="store_true",
+                      help="also lint every bundled workload image")
+    lint.add_argument("--bounds", action="store_true",
+                      help="print per-task static stack bounds")
+    lint.set_defaults(func=_cmd_lint)
 
     profile = sub.add_parser(
         "profile", help="flat profile (native) + trap histogram")

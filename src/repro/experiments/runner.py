@@ -19,8 +19,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from . import (extra_compiled, extra_copyswitch, extra_energy,
-               extra_latency, fig4, fig5, fig6, fig7, fig8, table1,
-               table2)
+               extra_latency, extra_static, fig4, fig5, fig6, fig7,
+               fig8, table1, table2)
 
 
 @dataclass
@@ -53,6 +53,7 @@ def experiment_functions(quick: bool = False) -> Dict[str, Callable]:
             "energy": lambda: extra_energy.run(sizes=[10_000, 60_000],
                                                activations=5),
             "compiled": extra_compiled.run,
+            "static": lambda: extra_static.run(quick=True),
         }
     return {
         "table1": table1.run,
@@ -66,6 +67,7 @@ def experiment_functions(quick: bool = False) -> Dict[str, Callable]:
         "latency": extra_latency.run,
         "energy": extra_energy.run,
         "compiled": extra_compiled.run,
+        "static": extra_static.run,
     }
 
 
@@ -86,6 +88,7 @@ _UNIT_FUNCS: Dict[str, Callable] = {
     "latency": extra_latency.run,
     "energy": extra_energy.run,
     "compiled": extra_compiled.run,
+    "static_workload": extra_static.compute_workload,
 }
 
 Spec = Tuple[str, dict]
@@ -147,6 +150,10 @@ def _suite_plan(quick: bool) -> List[Tuple[str, List[Spec], Callable]]:
         ("latency", [("latency", {})], _single),
         ("energy", [("energy", energy_kwargs)], _single),
         ("compiled", [("compiled", {})], _single),
+        ("static",
+         [("static_workload", {"workload": workload, "quick": quick})
+          for workload in extra_static.WORKLOAD_NAMES],
+         extra_static.merge),
     ]
 
 

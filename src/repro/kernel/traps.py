@@ -326,6 +326,12 @@ class TrapHandlers:
         elif mnemonic == "OUT":
             kernel.io_write(ioports.io_to_data(operands[0]),
                             cpu.r[operands[1]])
+        elif mnemonic in ("SBI", "CBI"):
+            address = ioports.io_to_data(operands[0])
+            mask = 1 << operands[1]
+            value = kernel.io_read(address)
+            kernel.io_write(address, (value | mask) if mnemonic == "SBI"
+                            else (value & ~mask))
         else:
             raise TaskFault(kernel.current.task_id,
                             f"unsupported Timer3 access {mnemonic}")

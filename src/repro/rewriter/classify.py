@@ -22,6 +22,14 @@ from typing import Optional
 from ..avr import ioports
 from ..avr.instruction import Instruction
 from ..avr.isa import IO_SPL, IO_SPH
+from ..errors import RewriteError
+
+#: Extended-addressing instructions (EIND/RAMPZ-relative control flow and
+#: program-memory reads beyond 128 KB).  The shift-table translation and
+#: the trampoline families only model 16-bit program addresses, so these
+#: must never slip through as silently-native instructions — the rewriter
+#: rejects the program instead.
+UNSUPPORTED_EXTENDED = frozenset({"EIJMP", "EICALL", "ELPM"})
 
 
 class PatchKind(enum.Enum):
@@ -59,13 +67,31 @@ def _static_data_address(instruction: Instruction) -> Optional[int]:
 
 
 def classify(instruction: Instruction) -> PatchKind:
-    """Return the patch kind for *instruction* (NONE if it runs natively)."""
+    """Return the patch kind for *instruction* (NONE if it runs natively).
+
+    Raises :class:`~repro.errors.RewriteError` for instructions the
+    trampoline families cannot represent soundly (extended-indirect
+    addressing, or a conditional *skip* over an OS-reserved register —
+    a skip's two resume points do not fit a single-``JMP`` patch).
+    """
     m = instruction.mnemonic
+
+    if m in UNSUPPORTED_EXTENDED:
+        raise RewriteError(
+            f"unsupported extended-indirect instruction {m} at "
+            f"{instruction.address:#06x}: EIND/RAMPZ addressing is not "
+            f"modeled by the shift-table translation")
 
     # OS-reserved resource accesses take precedence over other rules.
     static_address = _static_data_address(instruction)
     if static_address is not None and \
             static_address in ioports.TIMER3_ADDRESSES:
+        if m in ("SBIC", "SBIS"):
+            raise RewriteError(
+                f"cannot patch skip instruction {m} over reserved Timer3 "
+                f"register {static_address:#06x} at "
+                f"{instruction.address:#06x}: a skip has two resume "
+                f"points and no sound single-JMP trampoline")
         return PatchKind.TIMER3_IO
 
     if m in ("LD", "ST", "LDD", "STD"):

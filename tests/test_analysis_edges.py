@@ -1,0 +1,152 @@
+"""Edge cases: classify extensions, skip distances, analysis helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.inflation import inflation_breakdown
+from repro.analysis.profile import flat_profile, trap_histogram
+from repro.avr.instruction import Instruction
+from repro.errors import ReproError, RewriteError
+from repro.kernel import SensorNode
+from repro.rewriter.classify import PatchKind, classify
+from repro.rewriter.naturalized import RewriteStats
+from repro.toolchain import link_image
+
+# -- classify: extended-addressing rejection ----------------------------------
+
+@pytest.mark.parametrize("mnemonic", ["EIJMP", "EICALL", "ELPM"])
+def test_classify_rejects_extended_indirect(mnemonic):
+    with pytest.raises(RewriteError) as excinfo:
+        classify(Instruction(mnemonic, (), 0x123))
+    message = str(excinfo.value)
+    assert mnemonic in message
+    assert "0x0123" in message
+
+
+def test_extended_rejection_is_a_repro_error():
+    with pytest.raises(ReproError):
+        classify(Instruction("EIJMP", (), 0))
+
+
+# -- classify: skips over reserved registers ----------------------------------
+
+@pytest.mark.parametrize("mnemonic", ["SBIC", "SBIS"])
+def test_classify_rejects_skip_over_timer3(mnemonic):
+    # I/O address 0x5C maps to data address 0x7C (ETIFR, Timer3 block).
+    with pytest.raises(RewriteError) as excinfo:
+        classify(Instruction(mnemonic, (0x5C, 3), 0x10))
+    assert mnemonic in str(excinfo.value)
+
+
+def test_classify_allows_skip_over_ordinary_io():
+    assert classify(Instruction("SBIC", (0x06, 3), 0)) is PatchKind.NONE
+
+
+def test_classify_patches_sbi_cbi_on_timer3():
+    assert classify(Instruction("SBI", (0x5C, 1), 0)) is \
+        PatchKind.TIMER3_IO
+    assert classify(Instruction("CBI", (0x5C, 1), 0)) is \
+        PatchKind.TIMER3_IO
+
+
+# -- skip distance over inflated successors -----------------------------------
+
+_SKIP_SOURCE = """
+.bss out, 1
+main:
+    ldi r16, {value}
+    ldi r17, 0xAA
+    ldi r18, 0x00
+    sbrc r16, 0
+    push r17
+    sbrc r16, 0
+    pop r18
+    sts out, r18
+    break
+"""
+
+
+def _run_skip(value: int):
+    node = SensorNode.from_sources(
+        [("skip", _SKIP_SOURCE.format(value=value))])
+    kernel = node.kernel
+    heap_base = kernel.regions.by_task(0).p_l
+    node.run(max_instructions=1_000_000)
+    assert node.finished
+    return node, kernel.cpu.mem.data[heap_base]
+
+
+def test_skip_clears_whole_inflated_site():
+    # Bit 0 clear: both SBRC skips fire.  In the naturalized image the
+    # skipped PUSH/POP are 2-word trampoline JMPs — the skip must clear
+    # the whole 32-bit site, not land in its second word.
+    node, out = _run_skip(0)
+    assert out == 0x00
+    assert node.kernel.tasks[0].max_stack_used == 0
+
+
+def test_skip_not_taken_runs_patched_site():
+    node, out = _run_skip(1)
+    assert out == 0xAA
+    assert node.kernel.tasks[0].max_stack_used == 1
+
+
+def test_skipped_site_is_inflated_in_image():
+    # Pin the layout this regression relies on: the PUSH after SBRC
+    # really is a 1->2 word inflated site in the naturalized image.
+    image = link_image([("skip", _SKIP_SOURCE.format(value=0))])
+    natural = image.tasks[0].natural
+    push = next(item for item in natural.program.items
+                if isinstance(item, Instruction)
+                and item.mnemonic == "PUSH")
+    nat_address = natural.shift_table.to_naturalized(push.address)
+    site = natural.sites[nat_address]
+    assert site.kind is PatchKind.STACK_PUSH
+    assert push.words == 1  # original is 16-bit; the site is 32-bit
+
+
+# -- inflation helpers --------------------------------------------------------
+
+def test_inflation_ratio_of_empty_stats_is_one():
+    assert RewriteStats().inflation_ratio == 1.0
+
+
+def test_inflation_breakdown_trivial_program():
+    breakdown = inflation_breakdown("t", "main:\n    break\n")
+    assert breakdown.native_bytes == 2
+    assert breakdown.sensmart_rewritten == 4  # BREAK inflates to a JMP
+    assert breakdown.sensmart_ratio >= 1.0
+    assert breakdown.tkernel_bytes >= breakdown.native_bytes
+
+
+# -- profile helpers ----------------------------------------------------------
+
+def test_flat_profile_empty_counts():
+    profile = flat_profile([], {})
+    assert profile.total_executions == 0
+    assert profile.symbols == []
+    assert profile.share_of("anything") == 0.0
+
+
+def test_flat_profile_zero_hits_have_zero_share():
+    profile = flat_profile([0, 0, 0, 0], {"main": 0, "helper": 2})
+    assert profile.total_executions == 0
+    assert profile.symbols == []
+
+
+def test_flat_profile_share_of_missing_symbol_is_zero():
+    profile = flat_profile([5, 5], {"main": 0})
+    assert profile.share_of("main") == 1.0
+    assert profile.share_of("no_such_symbol") == 0.0
+
+
+def test_flat_profile_renders_with_no_symbols():
+    text = flat_profile([], {}).render()
+    assert "flat profile (0 instructions)" in text
+
+
+def test_trap_histogram_handles_fresh_kernel():
+    node = SensorNode.from_sources([("t", "main:\n    break\n")])
+    text = trap_histogram(node.kernel)  # no traps executed yet
+    assert "kernel trap histogram" in text

@@ -85,3 +85,25 @@ void main() { out = 6 * 7; halt(); }
     assert main(["run", str(path)]) == 0
     out = capsys.readouterr().out
     assert "finished: True" in out
+
+
+def test_lint_command_on_file(blink_file, capsys):
+    assert main(["lint", blink_file]) == 0
+    out = capsys.readouterr().out
+    assert "100.0% coverage" in out
+    assert "image is sound" in out
+
+
+def test_lint_command_bounds(blink_file, capsys):
+    assert main(["lint", blink_file, "--bounds"]) == 0
+    out = capsys.readouterr().out
+    assert "static stack bounds" in out
+
+
+def test_lint_command_workloads(capsys):
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    for workload in ("table1", "table2", "kernelbench", "bintree",
+                     "errpath"):
+        assert f"--- {workload} ---" in out
+    assert "violation" not in out

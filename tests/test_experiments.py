@@ -84,3 +84,26 @@ def test_runner_parallel_output_is_byte_identical():
     serial = run_suite(quick=True, only=names, jobs=1).render()
     parallel = run_suite(quick=True, only=names, jobs=2).render()
     assert parallel == serial
+
+
+def test_static_bounds_dominate_observed_peaks():
+    from repro.experiments import extra_static
+    result = extra_static.run(quick=True)
+    assert result.all_bounds_hold
+    assert result.all_lint_ok
+    # Recursive tasks are exactly the statically unprovisionable ones.
+    assert set(result.unbounded_tasks) == {"table2/needy",
+                                           "bintree/search"}
+    # The never-taken deep path shows the static over-provisioning gap.
+    errpath = result.row_for("errpath", "errpath")
+    assert errpath.bound > errpath.observed
+    assert result.savings_bytes > 0
+    rendered = result.render()
+    assert "bound holds" in rendered
+    assert "100.0%" in rendered
+
+
+def test_runner_includes_static_experiment():
+    suite = run_all(quick=True, only=["static"])
+    assert set(suite.results) == {"static"}
+    assert suite.results["static"].all_bounds_hold
