@@ -46,4 +46,7 @@ def test_kernelized_interpreter_speed(benchmark):
     instructions = benchmark.pedantic(run, rounds=3, iterations=1)
     rate = instructions / benchmark.stats["mean"]
     print(f"\nunder SenSmart: {rate / 1e6:.2f} M simulated instr/s")
-    assert rate > 400_000  # fused trap-region dispatch; was 50k pre-fusion
+    # Floor sits above what generic trap dispatch can reach (~0.9M
+    # instr/s here), so a trap-specialization regression fails loudly;
+    # the specialized self-looping branch traps measure ~3M.
+    assert rate > 1_500_000  # was 400k pre-specialization, 50k pre-fusion

@@ -74,7 +74,9 @@ def measure_sensmart(node, model: EnergyModel = None) -> EnergyReport:
     model = model if model is not None else EnergyModel()
     radio = node.devices.get("radio")
     adc = node.devices.get("adc")
-    radio_cycles = len(radio.transmitted) * radio.byte_cycles \
+    # tx_seq counts every byte ever clocked out, even ones the bounded
+    # TX log has since evicted.
+    radio_cycles = radio.tx_seq * radio.byte_cycles \
         if radio is not None else 0
     adc_cycles = adc.samples_taken * adc.conversion_cycles \
         if adc is not None else 0
@@ -89,7 +91,7 @@ def measure_native(result, model: EnergyModel = None) -> EnergyReport:
     model = model if model is not None else EnergyModel()
     radio = result.devices.get("radio")
     adc = result.devices.get("adc")
-    radio_cycles = len(radio.transmitted) * radio.byte_cycles \
+    radio_cycles = radio.tx_seq * radio.byte_cycles \
         if radio is not None else 0
     adc_cycles = adc.samples_taken * adc.conversion_cycles \
         if adc is not None else 0

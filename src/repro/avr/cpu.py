@@ -101,6 +101,68 @@ def _flags_logic(res: int) -> int:
 _MAX_BLOCK = 48
 
 
+class _CachedBlock:
+    """One compiled superblock variant in a :class:`SuperblockCache`.
+
+    Holds the shareable compilation products: the code object, the
+    site-specific flag tables it references, and the bookkeeping needed
+    to rebind it to another CPU (``term_addr`` for the generic-thunk
+    terminator, ``trap``/``spec_key`` for specialized trap terminators).
+    """
+
+    __slots__ = ("code", "tables", "icount", "cost", "term_addr", "trap",
+                 "spec_key")
+
+    def __init__(self, code, tables, icount, cost, term_addr, trap,
+                 spec_key):
+        self.code = code
+        self.tables = tables
+        self.icount = icount
+        self.cost = cost
+        self.term_addr = term_addr
+        self.trap = trap          # (site, target, is_call) or None
+        self.spec_key = spec_key  # specialization constants, or None
+
+
+class SuperblockCache:
+    """Cross-CPU superblock translation cache.
+
+    Superblock compilation depends only on the flash image, the data
+    memory size, the trap ranges, and — for specialized trap
+    terminators — the constants the specializer baked in.  All of that
+    is captured in the key ``(base_key, pc)`` plus the per-variant
+    ``spec_key``, so N nodes burned with the same image (the common
+    network-simulation shape) compile each hot block once and share the
+    code objects; every further node only pays an ``exec`` to rebind
+    the code to its own registers and memory.
+    """
+
+    def __init__(self, max_groups: int = 16384):
+        self.groups: dict = {}  # (base_key, pc) -> {spec_key: block}
+        self.max_groups = max_groups
+        self.hits = 0
+        self.misses = 0
+        #: (base_key, pc, spec_key) -> times actually compiled; the
+        #: exactly-once sharing property asserts max(...) == 1.
+        self.compile_counts: dict = {}
+
+    def store(self, base_key, pc: int, block: _CachedBlock) -> None:
+        key = (base_key, pc)
+        group = self.groups.get(key)
+        if group is None:
+            if len(self.groups) >= self.max_groups:
+                self.groups.pop(next(iter(self.groups)))  # FIFO bound
+            group = self.groups[key] = {}
+        group[block.spec_key] = block
+        count_key = (base_key, pc, block.spec_key)
+        self.compile_counts[count_key] = \
+            self.compile_counts.get(count_key, 0) + 1
+
+
+#: Process-wide default cache (pass ``block_cache=False`` to opt out).
+_GLOBAL_BLOCK_CACHE = SuperblockCache()
+
+
 # -- precomputed SREG tables for fused code ------------------------------------
 #
 # Superblock members replace the branchy flag computations of the
@@ -214,7 +276,11 @@ class AvrCpu(SimClock):
     """
 
     def __init__(self, flash: Flash, memory: Optional[DataMemory] = None,
-                 clock_hz: int = 7_372_800, fuse: bool = True):
+                 clock_hz: int = 7_372_800, fuse: bool = True,
+                 block_cache=None):
+        """*block_cache*: ``None`` joins the process-wide
+        :class:`SuperblockCache`, ``False`` disables cross-CPU block
+        sharing, or pass an explicit cache instance."""
         SimClock.__init__(self)
         self.flash = flash
         self.mem = memory if memory is not None else DataMemory()
@@ -238,6 +304,15 @@ class AvrCpu(SimClock):
         self._trap_hi = -1
         self._trap_handler: Optional[Callable] = None
         self._trap_thunk_factory: Optional[Callable] = None
+        self._trap_inline_factory: Optional[Callable] = None
+        if block_cache is None:
+            self._block_cache: Optional[SuperblockCache] = \
+                _GLOBAL_BLOCK_CACHE
+        elif block_cache is False:
+            self._block_cache = None
+        else:
+            self._block_cache = block_cache
+        self._cache_base_key = None  # lazy (fingerprint, ...) tuple
         # Run limits as seen by self-looping superblocks; _run_fused
         # refreshes them on every run() call.
         self._run_mc = float("inf")
@@ -260,7 +335,8 @@ class AvrCpu(SimClock):
         device.attach(self)
 
     def set_trap_region(self, lo: int, hi: int, handler,
-                        thunk_factory: Optional[Callable] = None) -> None:
+                        thunk_factory: Optional[Callable] = None,
+                        inline_factory: Optional[Callable] = None) -> None:
         """Route execution entering flash words [*lo*, *hi*) to *handler*.
 
         ``handler(cpu, site, target, is_call)`` receives the word address of
@@ -272,10 +348,18 @@ class AvrCpu(SimClock):
         return a specialized closure for a patched site, resolved once at
         decode time (the kernel uses this to pre-bind its dispatch);
         returning ``None`` falls back to calling *handler*.
+
+        ``inline_factory(cpu, site, target, is_call, invalidate)``, when
+        given, may return ``(lines, bindings, spec_key)`` — Python
+        statements the superblock compiler splices in as the block's
+        terminator in place of the thunk call, the namespace entries
+        they need, and a hashable key of the constants they bake in
+        (see :class:`repro.kernel.specialize.TrapSpecializer`).
         """
         self._trap_ranges = [(lo, hi)]
         self._trap_handler = handler
         self._trap_thunk_factory = thunk_factory
+        self._trap_inline_factory = inline_factory
         self._update_trap_envelope()
         # Invalidate decoded thunks and fused blocks: targets may now trap.
         self.invalidate_decode()
@@ -308,6 +392,7 @@ class AvrCpu(SimClock):
         """
         self._exec[:] = [None] * self.flash.size_words
         self._blocks[:] = [None] * self.flash.size_words
+        self._cache_base_key = None  # flash/trap geometry may have changed
 
     def enable_profiling(self) -> None:
         """Count executions per PC (Avrora-style flat profile).
@@ -541,13 +626,25 @@ class AvrCpu(SimClock):
         Members are emitted as inline Python source and compiled with
         ``exec``; the terminating instruction (control flow / SP / I/O /
         interrupt-flag side effects) executes through its normal thunk —
-        or is inlined too for the hot unconditional/conditional branches.
+        or is inlined too for the hot unconditional/conditional branches
+        and, when an ``inline_factory`` is registered, for trap sites
+        (the specialized trap code becomes the block terminator).
         Cycle accumulation order matches stepwise execution exactly:
         member cycles land on the clock *before* the terminator runs, so
         terminators (and trap handlers) observe identical ``cpu.cycles``.
 
+        Compiled blocks are shared through the :class:`SuperblockCache`
+        (keyed by flash fingerprint, memory size, trap ranges, pc, and
+        the trap specialization key), so an identically-burned CPU
+        rebinds the cached code object instead of recompiling.
+
         Returns and caches ``(closure, instruction_count, member_cycles)``.
         """
+        base = self._cache_base()
+        if base is not None:
+            entry = self._from_cache(base, pc)
+            if entry is not None:
+                return entry
         namespace = {
             "cpu": self, "r": self.r, "mem": self.mem.data,
             "flash": self.flash, "profile": self.profile,
@@ -562,6 +659,7 @@ class AvrCpu(SimClock):
         cur = pc
         term = None
         term_ins = None
+        trap_info = None
         while len(member_addrs) < _MAX_BLOCK:
             if self.in_trap_region(cur):
                 break  # never fuse across a trap-region boundary
@@ -580,6 +678,10 @@ class AvrCpu(SimClock):
                 if term is None:
                     term = self._decode_at(cur)
                 term_ins = ins
+                if ins.mnemonic in ("JMP", "CALL") and \
+                        self.in_trap_region(ins.operands[0]):
+                    trap_info = (ins.address, ins.operands[0],
+                                 ins.mnemonic == "CALL")
                 break
             src, cycles, touches_sreg = member
             lines.extend(src)
@@ -590,7 +692,26 @@ class AvrCpu(SimClock):
 
         count = len(member_addrs)
         body: Optional[List[str]] = None
-        if term_ins is not None and self.profile is None:
+        spec_key = None
+        term_addr: Optional[int] = None
+        trap_spec = None
+        if trap_info is not None and self.profile is None and \
+                self._trap_inline_factory is not None:
+            site, target, is_call = trap_info
+            trap_spec = self._trap_inline_factory(
+                self, site, target, is_call,
+                invalidate=f"k_bl[{pc}] = None",
+                block=(pc, lines, cost, count, uses_sreg))
+        if trap_spec is not None:
+            trap_lines, trap_bindings, spec_key, trap_full = trap_spec
+            namespace.update(trap_bindings)
+            if trap_full:
+                # The factory produced a complete closure body (a
+                # self-looping backward-branch trap): members, guard
+                # and all accounting live inside it.
+                body = list(trap_lines)
+                icount = count + 1
+        if body is None and term_ins is not None and self.profile is None:
             body = self._self_loop_body(term_ins, lines, cost, count,
                                         uses_sreg, pc)
             if body is not None:
@@ -605,34 +726,118 @@ class AvrCpu(SimClock):
                     body.append(f"profile[{address}] += 1")
             if uses_sreg:
                 body.append("cpu.sreg = sr")
-            inline_term = None
-            if term_ins is not None and self.profile is None:
-                inline_term = self._inline_term_src(term_ins, cost, count,
-                                                    uses_sreg)
-            if inline_term is not None:
-                body.extend(inline_term)
-                icount = count + 1
-            elif term is not None:
+            if trap_spec is not None:
                 if cost:
                     body.append(f"cpu.cycles += {cost}")
                 if count:
                     body.append(f"cpu.instret += {count}")
-                body.append("t()")
+                body.extend(trap_lines)
                 body.append("cpu.instret += 1")
                 icount = count + 1
             else:
-                # Block stopped before a trap region / undecodable word /
-                # the member cap: leave pc on the next unexecuted word.
-                body.append(f"cpu.pc = {cur}")
-                if cost:
-                    body.append(f"cpu.cycles += {cost}")
-                body.append(f"cpu.instret += {count}")
-                icount = count
+                inline_term = None
+                if term_ins is not None and self.profile is None:
+                    inline_term = self._inline_term_src(term_ins, cost,
+                                                        count, uses_sreg)
+                if inline_term is not None:
+                    body.extend(inline_term)
+                    icount = count + 1
+                elif term is not None:
+                    if cost:
+                        body.append(f"cpu.cycles += {cost}")
+                    if count:
+                        body.append(f"cpu.instret += {count}")
+                    body.append("t()")
+                    body.append("cpu.instret += 1")
+                    icount = count + 1
+                    term_addr = cur
+                else:
+                    # Block stopped before a trap region / undecodable
+                    # word / the member cap: leave pc on the next
+                    # unexecuted word.
+                    body.append(f"cpu.pc = {cur}")
+                    if cost:
+                        body.append(f"cpu.cycles += {cost}")
+                    body.append(f"cpu.instret += {count}")
+                    icount = count
         namespace["t"] = term
         source = "def _blk():\n" + "\n".join(
             "    " + line for line in body)
-        exec(compile(source, f"<superblock@{pc:#06x}>", "exec"), namespace)
+        code = compile(source, f"<superblock@{pc:#06x}>", "exec")
+        exec(code, namespace)
         entry = (namespace["_blk"], icount, cost)
+        self._blocks[pc] = entry
+        if base is not None:
+            tables = {name: value for name, value in namespace.items()
+                      if name[0] in "tu" and name[1:].isdigit()}
+            self._block_cache.store(base, pc, _CachedBlock(
+                code=code, tables=tables, icount=icount, cost=cost,
+                term_addr=term_addr, trap=trap_info, spec_key=spec_key))
+        return entry
+
+    def _cache_base(self):
+        """Cross-CPU cache key prefix, or None when caching is off.
+
+        Profiling wraps per-instruction thunks and emits per-member
+        counter lines, so profiled compilations never enter the cache.
+        """
+        if self._block_cache is None or self.profile is not None:
+            return None
+        if self._cache_base_key is None:
+            self._cache_base_key = (self.flash.fingerprint(),
+                                    self.mem.size,
+                                    tuple(self._trap_ranges))
+        return self._cache_base_key
+
+    def _from_cache(self, base, pc: int):
+        """Rebind a cached superblock to this CPU, or None on miss.
+
+        A trap-terminated group may hold several variants: the generic
+        thunk-calling block (``spec_key None``) plus one per
+        specialization the factory produced.  The factory is consulted
+        first so this CPU lands on the variant matching its *current*
+        constants; a missing variant falls through to a full fuse,
+        which stores it for the next node.
+        """
+        cache = self._block_cache
+        group = cache.groups.get((base, pc))
+        if group is None:
+            cache.misses += 1
+            return None
+        trap = next((block.trap for block in group.values()
+                     if block.trap is not None), None)
+        spec_key = None
+        bindings = None
+        if trap is not None and self._trap_inline_factory is not None:
+            site, target, is_call = trap
+            result = self._trap_inline_factory(
+                self, site, target, is_call,
+                invalidate=f"k_bl[{pc}] = None")
+            if result is not None:
+                _, bindings, spec_key, _ = result
+        block = group.get(spec_key)
+        if block is None:
+            cache.misses += 1
+            return None
+        cache.hits += 1
+        ns = {
+            "cpu": self, "r": self.r, "mem": self.mem.data,
+            "flash": self.flash, "profile": None,
+            "lf": _LOGIC_TABLE, "incf": _INC_TABLE, "decf": _DEC_TABLE,
+            "lsrf": _LSR_TABLE, "asrf": _ASR_TABLE, "negf": _NEG_TABLE,
+            "rorf0": _ROR_TABLES[0], "rorf1": _ROR_TABLES[1],
+        }
+        ns.update(block.tables)
+        if spec_key is not None:
+            ns.update(bindings)
+        term = None
+        if block.term_addr is not None:
+            term = self._exec[block.term_addr]
+            if term is None:
+                term = self._decode_at(block.term_addr)
+        ns["t"] = term
+        exec(block.code, ns)
+        entry = (ns["_blk"], block.icount, block.cost)
         self._blocks[pc] = entry
         return entry
 

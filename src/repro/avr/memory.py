@@ -22,6 +22,7 @@ class Flash:
         self.size_words = size_words
         self._words: List[int] = [0xFFFF] * size_words
         self._burn_listeners: List = []
+        self._fingerprint: Optional[str] = None
         if words is not None:
             self.load(0, words)
 
@@ -37,8 +38,24 @@ class Flash:
         """Burn *words* into flash starting at *word_address*."""
         for offset, word in enumerate(words):
             self._words[word_address + offset] = word & 0xFFFF
+        self._fingerprint = None
         for listener in self._burn_listeners:
             listener()
+
+    def fingerprint(self) -> str:
+        """Content hash of the full image, computed lazily per burn.
+
+        Keys the process-wide superblock translation cache: nodes whose
+        flash hashes equal share compiled superblocks (N identical nodes
+        in a network compile each hot block once).
+        """
+        if self._fingerprint is None:
+            import array
+            import hashlib
+            payload = array.array("H", self._words).tobytes()
+            self._fingerprint = hashlib.blake2b(
+                payload, digest_size=16).hexdigest()
+        return self._fingerprint
 
     def word(self, word_address: int) -> int:
         if not 0 <= word_address < self.size_words:

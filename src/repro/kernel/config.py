@@ -65,6 +65,17 @@ class KernelConfig:
     #: forces per-instruction dispatch; results are bit-identical.
     fuse: bool = True
 
+    #: JIT-specialize trap thunks and trap-bearing superblocks against
+    #: each task's current region constants (see repro.kernel.specialize).
+    #: Off routes every trap through the generic dispatch/translate
+    #: chain; results are bit-identical.
+    specialize: bool = True
+
+    #: Run the rewriter-soundness linter (``sensmart lint``) over the
+    #: image inside ``link_image`` when building a node, so every run is
+    #: self-verifying.  Costs well under a millisecond per image.
+    lint_on_link: bool = True
+
     @property
     def memory_size(self) -> int:
         """M — size of the physical data address space."""

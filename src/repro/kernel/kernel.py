@@ -54,14 +54,17 @@ class SenSmartKernel:
 
     def __init__(self, image: TargetImage,
                  config: Optional[KernelConfig] = None,
-                 devices=()):
+                 devices=(), block_cache=None):
+        """*block_cache* forwards to :class:`~..avr.cpu.AvrCpu`: None
+        shares the process-wide superblock cache, False disables it, or
+        pass an explicit :class:`~..avr.cpu.SuperblockCache`."""
         self.config = config if config is not None else KernelConfig()
         self.image = image
 
         flash = Flash()
         image.burn(flash)
         self.cpu = AvrCpu(flash, clock_hz=self.config.clock_hz,
-                          fuse=self.config.fuse)
+                          fuse=self.config.fuse, block_cache=block_cache)
         for device in devices:
             self.cpu.attach_device(device)
 
@@ -70,9 +73,18 @@ class SenSmartKernel:
         self.scheduler = RoundRobinScheduler(self.config)
         self.trampolines = image.trampolines_by_address
         self.handlers = TrapHandlers(self)
+        self.specializer = None
+        thunk_factory = self.handlers.thunk_factory
+        inline_factory = None
+        if self.config.specialize:
+            from .specialize import TrapSpecializer
+            self.specializer = TrapSpecializer(self)
+            thunk_factory = self.specializer.thunk_factory
+            inline_factory = self.specializer.inline_source
         self.cpu.set_trap_region(image.trap_region[0], image.trap_region[1],
                                  self.handlers.dispatch,
-                                 thunk_factory=self.handlers.thunk_factory)
+                                 thunk_factory=thunk_factory,
+                                 inline_factory=inline_factory)
 
         self.tasks: Dict[int, Task] = {}
         self.current: Optional[Task] = None
@@ -90,6 +102,7 @@ class SenSmartKernel:
         self.relocator = StackRelocator(
             self.config, self.cpu.mem, self.regions, self._sp_of)
         self.relocator.on_sp_adjust = self._on_sp_adjust
+        self.relocator.on_region_change = self._on_region_change
 
     # -- loading ---------------------------------------------------------------
 
@@ -123,6 +136,17 @@ class SenSmartKernel:
             self.cpu.sp += delta
         else:
             self.tasks[task_id].context.sp += delta
+
+    def _on_region_change(self, task_id: int) -> None:
+        """A task's region geometry moved: retire its specialized code.
+
+        Trap code compiled by :class:`~.specialize.TrapSpecializer` bakes
+        the region constants in and guards on this epoch, so bumping it
+        deoptimizes every stale closure on its next execution.
+        """
+        task = self.tasks.get(task_id)
+        if task is not None:
+            task.region_epoch += 1
 
     def charge(self, cycles: int) -> None:
         """Charge *cycles* to the clock and the kernel-overhead account."""
@@ -335,6 +359,7 @@ class SenSmartKernel:
         """Physically apply a region release (see ReleaseGrant)."""
         if grant is None:
             return
+        self._on_region_change(grant.task_id)
         if grant.heap_move is not None:
             src, dst, length = grant.heap_move
             self.cpu.mem.move_block(src, dst, length)

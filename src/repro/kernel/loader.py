@@ -190,6 +190,10 @@ class DynamicLoader:
         new_regions.append(new_region)
         table.regions = new_regions
         table.check_invariants()
+        # Every resident region's geometry just changed: retire any trap
+        # code specialized against the old constants.
+        for region in new_regions:
+            kernel._on_region_change(region.task_id)
         return moved
 
     def _set_sp(self, task_id: int, physical_sp: int) -> None:

@@ -31,22 +31,38 @@ class SensorNode:
                      config: Optional[KernelConfig] = None,
                      rewriter: Optional[Rewriter] = None,
                      adc_seed: int = 0xACE1,
-                     fuse: Optional[bool] = None) -> "SensorNode":
+                     fuse: Optional[bool] = None,
+                     specialize: Optional[bool] = None,
+                     lint: Optional[bool] = None,
+                     block_cache=None) -> "SensorNode":
         """Compile, rewrite and link *sources*, then boot a node.
 
-        *fuse* overrides the config's superblock-fusion knob (execution
-        stays bit-identical either way; fused is faster).
+        *fuse* and *specialize* override the config's superblock-fusion
+        and trap-specialization knobs (execution stays bit-identical
+        either way; both on is fastest).  *lint* overrides the config's
+        ``lint_on_link`` self-check.  *block_cache* forwards to the
+        kernel's CPU (None = process-wide superblock sharing, False =
+        private compilation).
         """
+        config = config if config is not None else KernelConfig()
+        overrides = {}
         if fuse is not None:
-            config = replace(config if config is not None
-                             else KernelConfig(), fuse=fuse)
-        image = link_image(sources, rewriter=rewriter)
+            overrides["fuse"] = fuse
+        if specialize is not None:
+            overrides["specialize"] = specialize
+        if lint is not None:
+            overrides["lint_on_link"] = lint
+        if overrides:
+            config = replace(config, **overrides)
+        image = link_image(sources, rewriter=rewriter,
+                           lint=config.lint_on_link)
         adc = Adc(seed=adc_seed)
         radio = Radio()
         leds = Leds()
         timer0 = Timer0()  # Timer3 is kernel-owned; Timer0 is for apps
         kernel = SenSmartKernel(image, config=config,
-                                devices=[adc, radio, leds, timer0])
+                                devices=[adc, radio, leds, timer0],
+                                block_cache=block_cache)
         return cls(kernel, {"adc": adc, "radio": radio, "leds": leds,
                             "timer0": timer0})
 

@@ -28,10 +28,14 @@ class ReleaseGrant:
     * ``stack_grant``: a region below absorbed the space by raising its
       ``p_u``; its live stack must slide up to hang from the new top
       and its SP must shift — ``(task_id, old_p_u, delta)``.
+
+    ``task_id`` names the absorbing task in both cases: its region
+    geometry changed, so the kernel must bump its ``region_epoch``.
     """
 
     heap_move: Optional[Tuple[int, int, int]] = None
     stack_grant: Optional[Tuple[int, int, int]] = None
+    task_id: int = -1
 
 
 @dataclass
@@ -163,12 +167,13 @@ class RegionTable:
                 old_p_u = below.p_u
                 below.p_u = region.p_u
                 grant = ReleaseGrant(stack_grant=(
-                    below.task_id, old_p_u, region.p_u - old_p_u))
+                    below.task_id, old_p_u, region.p_u - old_p_u),
+                    task_id=below.task_id)
             else:
                 above = self.regions[0]
                 heap = above.heap_size
                 grant = ReleaseGrant(heap_move=(
-                    above.p_l, region.p_l, heap))
+                    above.p_l, region.p_l, heap), task_id=above.task_id)
                 above.p_l = region.p_l
                 above.p_h = region.p_l + heap
             self.check_invariants()

@@ -121,6 +121,7 @@ class StackRelocator:
         moved += self._move(donor.p_l, donor.p_l + delta, donor.heap_size)
         donor.p_l += delta
         donor.p_h += delta
+        self.on_region_change(donor.task_id)
 
         # 2. Whole regions between donor and needy slide up (top first);
         #    their stacks move with them, so their SPs shift too.
@@ -129,6 +130,7 @@ class StackRelocator:
             moved += self._move(region.p_l, region.p_l + delta, region.size)
             region.shift(delta)
             self._adjust_sp(region.task_id, delta)
+            self.on_region_change(region.task_id)
 
         # 3. Needy's used stack slides up to hang from the new top.
         sp = self.sp_of(needy.task_id)
@@ -136,6 +138,7 @@ class StackRelocator:
         moved += self._move(sp + 1, sp + 1 + delta, used)
         needy.p_u += delta
         self._adjust_sp(needy.task_id, delta)
+        self.on_region_change(needy.task_id)
         return moved
 
     def _slide_down(self, needy_index: int, donor_index: int,
@@ -152,6 +155,7 @@ class StackRelocator:
         moved += self._move(sp + 1, sp + 1 - delta, used)
         donor.p_u -= delta
         self._adjust_sp(donor.task_id, -delta)
+        self.on_region_change(donor.task_id)
 
         # 2. Whole regions between donor and needy slide down
         #    (bottom first); their SPs shift with them.
@@ -160,12 +164,14 @@ class StackRelocator:
             moved += self._move(region.p_l, region.p_l - delta, region.size)
             region.shift(-delta)
             self._adjust_sp(region.task_id, -delta)
+            self.on_region_change(region.task_id)
 
         # 3. Needy's heap slides down; its stack area grows at the
         #    bottom (stack bytes stay put, SP unchanged).
         moved += self._move(needy.p_l, needy.p_l - delta, needy.heap_size)
         needy.p_l -= delta
         needy.p_h -= delta
+        self.on_region_change(needy.task_id)
         return moved
 
     def _move(self, src: int, dst: int, length: int) -> int:
@@ -181,3 +187,10 @@ class StackRelocator:
     #: Hook the kernel sets: ``on_sp_adjust(task_id, delta)``.
     on_sp_adjust: Callable[[int, int], None] = staticmethod(
         lambda task_id, delta: None)
+
+    #: Hook the kernel sets: ``on_region_change(task_id)``, called once
+    #: per region whose geometry (p_l/p_h/p_u) a slide changed.  The
+    #: kernel bumps the task's ``region_epoch`` so trap code specialized
+    #: against the old constants deoptimizes.
+    on_region_change: Callable[[int], None] = staticmethod(
+        lambda task_id: None)

@@ -36,6 +36,12 @@ class Task:
     slice_start_cycle: int = 0
     wake_cycle: Optional[int] = None
 
+    #: Bumped whenever this task's region geometry changes (stack
+    #: relocation, a released neighbour's grant, loader compaction).
+    #: Specialized trap code bakes the region constants in and guards on
+    #: this epoch; a mismatch deoptimizes to the generic dispatch path.
+    region_epoch: int = 0
+
     # -- virtual timer service (intercepted Timer3) --------------------------
     timer_period_cycles: int = 0   # 0 = no periodic timer armed
     timer_next_fire: Optional[int] = None

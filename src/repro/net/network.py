@@ -56,6 +56,9 @@ class Link:
     _lfsr: int = 0xB5AD
     delivered: int = 0
     dropped: int = 0
+    #: Bytes the sender's bounded TX ring evicted before the ferry
+    #: read them (stays 0 as long as ferrying keeps up with the ring).
+    log_missed: int = 0
     #: Receiver-clock cycle at which each delivered byte arrived
     #: (always the sender's TX cycle plus ``latency_cycles``).
     arrival_cycles: List[int] = field(default_factory=list)
@@ -228,13 +231,12 @@ class Network:
             src = self.nodes[link.source]
             dst = self.nodes[link.destination]
             radio = src.radio
-            cursor = link._tx_cursor
-            fresh = radio.transmitted[cursor:]
+            fresh, missed = radio.tx_since(link._tx_cursor)
+            link.log_missed += missed
+            link._tx_cursor = radio.tx_seq
             if not fresh:
                 continue
-            tx_cycles = radio.tx_cycles[cursor:]
-            link._tx_cursor = len(radio.transmitted)
-            for value, tx_cycle in zip(fresh, tx_cycles):
+            for _, value, tx_cycle in fresh:
                 if link._lose():
                     link.dropped += 1
                     continue

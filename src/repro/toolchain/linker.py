@@ -26,8 +26,14 @@ from .image import KERNEL_CODE_WORDS, TargetImage, TaskImage
 def link_image(sources: Sequence[Tuple[str, str]],
                rewriter: Optional[Rewriter] = None,
                merge_trampolines: bool = True,
-               code_start: int = KERNEL_CODE_WORDS) -> TargetImage:
-    """Build a target image from ``(name, assembly_source)`` pairs."""
+               code_start: int = KERNEL_CODE_WORDS,
+               lint: bool = False) -> TargetImage:
+    """Build a target image from ``(name, assembly_source)`` pairs.
+
+    With ``lint=True`` the rewriter-soundness linter runs over the
+    finished image and a finding aborts the link with a
+    :class:`LinkError` — no unsound image reaches a node.
+    """
     if not sources:
         raise LinkError("no programs to link")
     rewriter = rewriter if rewriter is not None else Rewriter()
@@ -57,6 +63,13 @@ def link_image(sources: Sequence[Tuple[str, str]],
     trap_hi = pool.place(trap_lo)
     for task in tasks:
         task.natural.resolve(pool)
-    return TargetImage(tasks=tasks, pool=pool,
-                       trap_region=(trap_lo, trap_hi),
-                       code_start=code_start)
+    image = TargetImage(tasks=tasks, pool=pool,
+                        trap_region=(trap_lo, trap_hi),
+                        code_start=code_start)
+    if lint:
+        from ..analysis.static.lint import lint_image
+        report = lint_image(image)
+        if not report.ok:
+            raise LinkError(
+                "image failed soundness lint:\n" + report.render())
+    return image

@@ -168,17 +168,12 @@ def test_search_task_recursion_depth_matches_paper():
         [("s", search_task_source(nodes=60, searches=15))])
     kernel = node.kernel
     region = kernel.regions.by_task(0)
-    deepest = [region.p_u]
-
-    original = kernel.ensure_stack_room
-    def probe(need):
-        deepest[0] = min(deepest[0], kernel.cpu.sp)
-        return original(need)
-    kernel.ensure_stack_room = probe
 
     node.run(max_instructions=30_000_000)
     assert node.finished
-    max_stack = region.p_u - deepest[0]
+    # min_sp_seen is the stack high-water mark every push/call records
+    # (on both the generic and the specialized trap paths).
+    max_stack = region.p_u - kernel.tasks[0].min_sp_seen
     levels = max_stack / 15
     assert 8 <= levels <= 16
 
@@ -189,15 +184,9 @@ def test_bigger_trees_recurse_deeper():
             [("s", search_task_source(nodes=nodes, searches=15))])
         kernel = node.kernel
         region = kernel.regions.by_task(0)
-        deepest = [region.p_u]
-        original = kernel.ensure_stack_room
-        def probe(need):
-            deepest[0] = min(deepest[0], kernel.cpu.sp)
-            return original(need)
-        kernel.ensure_stack_room = probe
         node.run(max_instructions=30_000_000)
         assert node.finished
-        return region.p_u - deepest[0]
+        return region.p_u - kernel.tasks[0].min_sp_seen
     assert max_stack(80) > max_stack(10)
 
 
