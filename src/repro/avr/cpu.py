@@ -496,10 +496,18 @@ class AvrCpu(SimClock):
         # interrupt is taken before any further instruction executes.
         if self.cycles >= self.events.next_due and not self.halted:
             self.events.run_due(self.cycles)
-        if self.fuse:
-            self._run_fused(max_cycles, max_instructions, until)
-        else:
-            self._run_stepwise(max_cycles, max_instructions, until)
+        try:
+            if self.fuse:
+                self._run_fused(max_cycles, max_instructions, until)
+            else:
+                self._run_stepwise(max_cycles, max_instructions, until)
+        except IndexError as error:
+            # Corrupted control flow (e.g. an injected bit flip in a
+            # saved return address) can push PC or a pointer past the
+            # modelled address spaces; the raw list access then raises
+            # IndexError inside a thunk.  Surface it as the memory
+            # fault it models rather than a host-level crash.
+            raise MemoryFault(self.pc, "wild access") from error
 
     def _run_stepwise(self, max_cycles, max_instructions, until) -> None:
         """Per-instruction dispatch: limits and events checked each step."""

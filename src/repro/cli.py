@@ -3,6 +3,7 @@
 Subcommands::
 
     sensmart exp [table1|table2|fig4|fig5|fig6|fig7|fig8|all] [--quick]
+    sensmart chaos [--seed S] [--quick]  # fault-injection campaign
     sensmart run FILE [FILE ...]       # run programs under SenSmart
     sensmart rewrite FILE              # show a naturalized listing
     sensmart asm FILE                  # assemble + disassemble a file
@@ -36,6 +37,15 @@ def _cmd_exp(args: argparse.Namespace) -> int:
     names = None if args.which in ("all", None) else [args.which]
     suite = run_suite(quick=args.quick, only=names, jobs=args.jobs)
     print(suite.render())
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .experiments import extra_faults
+    seed = args.seed if args.seed is not None \
+        else extra_faults.DEFAULT_SEED
+    result = extra_faults.run(quick=args.quick, seed=seed)
+    print(result.render())
     return 0
 
 
@@ -208,6 +218,18 @@ def build_parser() -> argparse.ArgumentParser:
                      help="fan independent sweep points over N worker "
                           "processes (output is identical to -j1)")
     exp.set_defaults(func=_cmd_exp)
+
+    chaos = sub.add_parser(
+        "chaos", help="deterministic fault-injection survivability "
+                      "campaign (seed-reproducible)")
+    chaos.add_argument("--seed", type=lambda s: int(s, 0),
+                       default=None, metavar="S",
+                       help="campaign seed (default: the pinned "
+                            "DEFAULT_SEED; same seed => byte-identical "
+                            "report)")
+    chaos.add_argument("--quick", action="store_true",
+                       help="smoke-test sized campaign")
+    chaos.set_defaults(func=_cmd_chaos)
 
     run = sub.add_parser("run", help="run programs under SenSmart")
     run.add_argument("files", nargs="+")

@@ -1,0 +1,323 @@
+"""Extra experiment: survivability under deterministic fault injection.
+
+The paper argues SenSmart keeps *multitasking* nodes healthy under
+memory pressure; this campaign asks the robustness question instead:
+what does it take to keep a multi-node deployment producing results
+when the hardware misbehaves?  Each campaign point runs a three-node
+relay network (sender -> relay -> receiver) whose nodes also carry a
+compute mix (table1 / table2 / kernelbench tasks plus a periodic
+sampler), then turns a fault dial:
+
+* level 0 — no faults: the survivability baseline.
+* level 1 — moderate: SRAM bit flips, a flash word flip or two, one
+  crash per node, clock drift; links lose/corrupt/duplicate bytes.
+* level 2 — heavy: roughly double the moderate rates.
+
+Faults come from a :class:`~repro.faults.FaultPlan` (seeded xorshift
+streams, landed as sim events), so every cell of the table reproduces
+exactly from ``--seed``.  Recovery is the kernel hardening stack:
+restart-with-backoff policies, the software watchdog, panic-reboot,
+and injector-driven cold restarts after crashes.  The table reports
+what survived: tasks finished, tasks restarted-and-finished, tasks
+dead at the restart cap, nodes recovered after crashes, and bytes
+delivered despite link faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.report import format_table
+from ..avr import ioports
+from ..avr.devices.radio import RXC
+from ..faults import FaultInjector, FaultPlan, XorShift32
+from ..faults.plan import CRASH
+from ..kernel import KernelConfig, SensorNode, TerminationReason
+from ..kernel.task import TaskState
+from ..net import Network
+from ..workloads.periodic import periodic_sensmart_source
+from .extra_static import _workload_sources
+
+DEFAULT_SEED = 0x5EED5
+MIXES = ("table1", "table2", "kernelbench")
+LEVELS = (0, 1, 2)
+NODE_NAMES = ("alpha", "bravo", "charlie")
+
+#: Per-level fault dials: per-node fault counts and per-link permille.
+_LEVELS: Dict[int, Dict[str, int]] = {
+    0: dict(sram=0, flash=0, crashes=0, drift=0,
+            loss=0, corrupt=0, dup=0),
+    1: dict(sram=10, flash=2, crashes=1, drift=2,
+            loss=30, corrupt=30, dup=20),
+    2: dict(sram=24, flash=4, crashes=2, drift=4,
+            loss=80, corrupt=80, dup=50),
+}
+
+
+def _sender(count: int) -> str:
+    return f"""
+main:
+    ldi r20, {count}
+    ldi r16, 0x30
+send:
+wait_tx:
+    lds r19, {ioports.UCSR0A}
+    sbrs r19, {ioports.UDRE}
+    rjmp wait_tx
+    sts {ioports.UDR0}, r16
+    inc r16
+    dec r20
+    brne send
+    break
+"""
+
+
+def _relay(count: int) -> str:
+    return f"""
+main:
+    ldi r20, {count}
+relay:
+wait_rx:
+    lds r17, {ioports.UCSR0A}
+    sbrs r17, {RXC}
+    rjmp wait_rx
+    lds r16, {ioports.UDR0}
+wait_tx:
+    lds r17, {ioports.UCSR0A}
+    sbrs r17, {ioports.UDRE}
+    rjmp wait_tx
+    sts {ioports.UDR0}, r16
+    dec r20
+    brne relay
+    break
+"""
+
+
+def _receiver(count: int) -> str:
+    return f"""
+.bss received, {count}
+main:
+    ldi r20, {count}
+    ldi r26, lo8(received)
+    ldi r27, hi8(received)
+recv:
+wait_rx:
+    lds r17, {ioports.UCSR0A}
+    sbrs r17, {RXC}
+    rjmp wait_rx
+    lds r16, {ioports.UDR0}
+    st X+, r16
+    dec r20
+    brne recv
+    break
+"""
+
+
+def _worker(iterations: int, depth: int = 12, leaf_spin: int = 200) -> str:
+    """Recursive churner: spends most of its life with a deep live
+    stack (the prime SRAM-flip target), then exits cleanly — the
+    natural candidate for terminated -> restarted -> finished."""
+    return f"""
+main:
+    ldi r20, lo8({iterations})
+    ldi r21, hi8({iterations})
+work:
+    ldi r24, {depth}
+    call recurse
+    subi r20, 1
+    sbci r21, 0
+    mov r18, r20
+    or r18, r21
+    brne work
+    break
+recurse:
+    push r2
+    push r3
+    push r4
+    dec r24
+    brne deeper
+    ldi r18, {leaf_spin}
+leafspin:
+    dec r18
+    brne leafspin
+    rjmp unwind
+deeper:
+    call recurse
+unwind:
+    pop r4
+    pop r3
+    pop r2
+    ret
+"""
+
+
+def _campaign_config() -> KernelConfig:
+    """Recovery fully armed: restarts, watchdog, panic-reboot."""
+    return KernelConfig(restart_policy="restart-with-backoff",
+                        restart_max=2, restart_backoff_slices=2,
+                        watchdog_slices=8, panic_reboot=True)
+
+
+def _node_sources(mix: str, quick: bool,
+                  count: int) -> List[List[Tuple[str, str]]]:
+    """Task lists for the three nodes: net role + sampler + mix slice."""
+    sampler = periodic_sensmart_source(800 if quick else 1500,
+                                       40 if quick else 120, 2)
+    worker = _worker(150 if quick else 600)
+    sources = [
+        [("sender", _sender(count)), ("sampler", sampler),
+         ("worker", worker)],
+        [("relay", _relay(count)), ("sampler", sampler),
+         ("worker", worker)],
+        [("receiver", _receiver(count)), ("sampler", sampler),
+         ("worker", worker)],
+    ]
+    for index, (name, text) in enumerate(_workload_sources(mix, quick)):
+        sources[index % 3].append((name, text))
+    return sources
+
+
+@dataclass
+class ChaosRow:
+    """Survivability of one (mix, fault level) campaign point."""
+
+    mix: str
+    level: int
+    tasks: int            # tasks on the final lives of the 3 nodes
+    finished: int         # termination == EXIT on the final life
+    restarted_ok: int     # finished with restarts_used > 0
+    dead: int             # terminated (non-exit) and not brought back
+    terminations: int     # non-exit termination events, all lives
+    restarts: int         # restart events, all lives
+    watchdog: int         # watchdog firings, all lives
+    crashes: int          # injected node crashes
+    recovered: int        # crashed nodes rebooted by the injector
+    delivered: int        # bytes delivered across both links
+    dropped: int
+    corrupted: int
+    duplicated: int
+
+
+@dataclass
+class ChaosResult:
+    """The survivability sweep: mixes x fault levels."""
+
+    seed: int
+    rows: List[ChaosRow] = field(default_factory=list)
+
+    def _level_sum(self, level: int, attr: str) -> int:
+        return sum(getattr(row, attr) for row in self.rows
+                   if row.level == level)
+
+    @property
+    def moderate_terminations(self) -> int:
+        return self._level_sum(1, "terminations")
+
+    @property
+    def moderate_restarted_ok(self) -> int:
+        return self._level_sum(1, "restarted_ok")
+
+    @property
+    def moderate_recovered(self) -> int:
+        return self._level_sum(1, "recovered")
+
+    def render(self) -> str:
+        table = format_table(
+            ["mix", "level", "tasks", "finished", "restarted+fin",
+             "dead", "terms", "restarts", "wdog", "crashes",
+             "recovered", "delivered", "dropped", "corrupt", "dup"],
+            [[r.mix, r.level, r.tasks, r.finished, r.restarted_ok,
+              r.dead, r.terminations, r.restarts, r.watchdog,
+              r.crashes, r.recovered, r.delivered, r.dropped,
+              r.corrupted, r.duplicated]
+             for r in self.rows],
+            title=f"Extra: survivability under injected faults "
+                  f"(seed {self.seed:#x}; 3-node relay networks)")
+        summary = "\n".join([
+            "moderate level (1), all mixes:",
+            f"  tasks terminated by faults    : "
+            f"{self.moderate_terminations}",
+            f"  tasks restarted then finished : "
+            f"{self.moderate_restarted_ok}",
+            f"  crashed nodes recovered       : "
+            f"{self.moderate_recovered}",
+        ])
+        return "\n\n".join([table, summary])
+
+
+def compute_point(mix: str, level: int, seed: int = DEFAULT_SEED,
+                  quick: bool = False) -> ChaosRow:
+    """Run one (mix, level) campaign cell (a runner work unit)."""
+    dial = _LEVELS[level]
+    count = 8 if quick else 16
+    horizon = 2_500_000 if quick else 8_000_000
+    max_cycles = 5_000_000 if quick else 16_000_000
+
+    net = Network()
+    for name, sources in zip(NODE_NAMES,
+                             _node_sources(mix, quick, count)):
+        net.add_node(name, SensorNode.from_sources(
+            sources, config=_campaign_config()))
+    for src, dst in zip(NODE_NAMES, NODE_NAMES[1:]):
+        net.connect(src, dst, latency_cycles=1_500,
+                    loss_permille=dial["loss"],
+                    corrupt_permille=dial["corrupt"],
+                    dup_permille=dial["dup"])
+
+    # One plan seed per cell, derived so cells never share streams.
+    plan_seed = XorShift32(seed).derive(f"{mix}/{level}").state
+    plan = FaultPlan(seed=plan_seed, horizon_cycles=horizon,
+                     warmup_cycles=30_000,
+                     sram_flips=dial["sram"],
+                     flash_flips=dial["flash"],
+                     crashes=dial["crashes"],
+                     drift_steps=dial["drift"])
+    injector = FaultInjector(plan)
+    injector.run(net, max_cycles=max_cycles, step=150_000)
+
+    tasks = finished = restarted_ok = dead = 0
+    terminations = restarts = watchdog = 0
+    for node in net.nodes.values():
+        for task in node.kernel.tasks.values():
+            tasks += 1
+            if task.termination is TerminationReason.EXIT:
+                finished += 1
+                if task.restarts_used:
+                    restarted_ok += 1
+            elif task.state is TaskState.TERMINATED:
+                dead += 1
+        for stats in list(node.stats_history) + [node.kernel.stats]:
+            terminations += sum(
+                1 for text in stats.terminations
+                if not text.endswith(": exit"))
+            restarts += len(stats.restarts)
+            watchdog += stats.watchdog_fires
+    return ChaosRow(
+        mix=mix, level=level, tasks=tasks, finished=finished,
+        restarted_ok=restarted_ok, dead=dead,
+        terminations=terminations, restarts=restarts,
+        watchdog=watchdog,
+        crashes=injector.counts[CRASH],
+        recovered=injector.counts["recovered"],
+        delivered=sum(link.delivered for link in net.links),
+        dropped=sum(link.dropped for link in net.links),
+        corrupted=sum(link.corrupted for link in net.links),
+        duplicated=sum(link.duplicated for link in net.links))
+
+
+def run(quick: bool = False, seed: int = DEFAULT_SEED,
+        mixes: Optional[Tuple[str, ...]] = None,
+        levels: Optional[Tuple[int, ...]] = None) -> ChaosResult:
+    result = ChaosResult(seed=seed)
+    for mix in mixes or MIXES:
+        for level in levels or LEVELS:
+            result.rows.append(
+                compute_point(mix, level, seed=seed, quick=quick))
+    return result
+
+
+def merge(chunks: List[ChaosRow],
+          seed: int = DEFAULT_SEED) -> ChaosResult:
+    """Merge per-cell runner units into one result."""
+    return ChaosResult(seed=seed, rows=list(chunks))

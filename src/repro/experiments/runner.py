@@ -19,8 +19,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from . import (extra_compiled, extra_copyswitch, extra_energy,
-               extra_latency, extra_static, fig4, fig5, fig6, fig7,
-               fig8, table1, table2)
+               extra_faults, extra_latency, extra_static, fig4, fig5,
+               fig6, fig7, fig8, table1, table2)
 
 
 @dataclass
@@ -54,6 +54,7 @@ def experiment_functions(quick: bool = False) -> Dict[str, Callable]:
                                                activations=5),
             "compiled": extra_compiled.run,
             "static": lambda: extra_static.run(quick=True),
+            "chaos": lambda: extra_faults.run(quick=True),
         }
     return {
         "table1": table1.run,
@@ -68,6 +69,7 @@ def experiment_functions(quick: bool = False) -> Dict[str, Callable]:
         "energy": extra_energy.run,
         "compiled": extra_compiled.run,
         "static": extra_static.run,
+        "chaos": extra_faults.run,
     }
 
 
@@ -89,6 +91,7 @@ _UNIT_FUNCS: Dict[str, Callable] = {
     "energy": extra_energy.run,
     "compiled": extra_compiled.run,
     "static_workload": extra_static.compute_workload,
+    "chaos_point": extra_faults.compute_point,
 }
 
 Spec = Tuple[str, dict]
@@ -154,6 +157,11 @@ def _suite_plan(quick: bool) -> List[Tuple[str, List[Spec], Callable]]:
          [("static_workload", {"workload": workload, "quick": quick})
           for workload in extra_static.WORKLOAD_NAMES],
          extra_static.merge),
+        ("chaos",
+         [("chaos_point", {"mix": mix, "level": level, "quick": quick})
+          for mix in extra_faults.MIXES
+          for level in extra_faults.LEVELS],
+         extra_faults.merge),
     ]
 
 

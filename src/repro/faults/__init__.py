@@ -1,0 +1,17 @@
+"""Deterministic fault injection and survivability measurement.
+
+Everything in this package is seed-reproducible: fault times and
+targets come from :class:`~.rng.XorShift32` streams derived from a
+:class:`~.plan.FaultPlan` seed — never from wall-clock time or the
+``random`` module — and faults land as events on the per-node sim
+event queues (``repro.sim``), so an identical seed replays an
+identical campaign byte for byte.  With no plan attached, nothing is
+scheduled and execution is bit-identical to a fault-free build
+(enforced by ``tests/test_faults.py``).
+"""
+
+from .inject import FaultInjector
+from .plan import FaultAction, FaultPlan
+from .rng import XorShift32
+
+__all__ = ["FaultAction", "FaultInjector", "FaultPlan", "XorShift32"]

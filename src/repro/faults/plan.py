@@ -1,0 +1,93 @@
+"""FaultPlan: what goes wrong, where, and when — decided up front.
+
+A plan turns ``(seed, horizon, per-kind counts)`` into a per-node list
+of :class:`FaultAction` timestamps.  Times are drawn from an
+:class:`~.rng.XorShift32` stream derived from the seed and the node
+name, so every node's schedule is independent and the whole campaign
+replays exactly from the seed.  *What* each fault hits (which region,
+which flash word, which bit) is drawn at fire time from a second
+per-node stream — targets must reflect the machine state at the moment
+of impact (regions move), and a dedicated stream keeps those draws
+deterministic regardless of how the times interleave.
+
+The plan only *describes* faults; :class:`~.inject.FaultInjector`
+schedules them on the nodes' sim event queues and executes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .rng import XorShift32
+
+#: Fault kinds a plan can schedule.
+SRAM_FLIP = "sram-flip"
+FLASH_FLIP = "flash-flip"
+CRASH = "crash"
+DRIFT = "drift"
+
+KINDS = (SRAM_FLIP, FLASH_FLIP, CRASH, DRIFT)
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One scheduled fault on one node."""
+
+    cycle: int
+    kind: str
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FaultAction {self.kind}@{self.cycle}>"
+
+
+@dataclass
+class FaultPlan:
+    """Seeded description of a fault campaign.
+
+    Counts are *per node*; every fault time is drawn uniformly in
+    ``[warmup_cycles, horizon_cycles)``.  ``flash_flips_at_load`` are
+    applied immediately when the injector attaches (image corruption
+    that shipped with the load), before the node executes anything.
+    """
+
+    seed: int
+    horizon_cycles: int
+    warmup_cycles: int = 100_000
+    sram_flips: int = 0
+    flash_flips: int = 0
+    flash_flips_at_load: int = 0
+    crashes: int = 0
+    #: Oscillator drift: every drift event jumps the node's clock
+    #: forward by ``drift_cycles`` (modelling accumulated skew against
+    #: the network epoch).
+    drift_steps: int = 0
+    drift_cycles: int = 64
+    #: Restrict faults to these node names (empty = every attached node).
+    only_nodes: List[str] = field(default_factory=list)
+
+    def targets(self, name: str) -> bool:
+        return not self.only_nodes or name in self.only_nodes
+
+    def times_rng(self, name: str) -> XorShift32:
+        return XorShift32(self.seed).derive(f"times/{name}")
+
+    def targets_rng(self, name: str) -> XorShift32:
+        return XorShift32(self.seed).derive(f"targets/{name}")
+
+    def schedule_for(self, name: str) -> List[FaultAction]:
+        """The node's fault timeline, sorted by cycle."""
+        if not self.targets(name):
+            return []
+        rng = self.times_rng(name)
+        span = max(1, self.horizon_cycles - self.warmup_cycles)
+        actions: List[FaultAction] = []
+        for kind, count in ((SRAM_FLIP, self.sram_flips),
+                            (FLASH_FLIP, self.flash_flips),
+                            (CRASH, self.crashes),
+                            (DRIFT, self.drift_steps)):
+            for _ in range(count):
+                cycle = self.warmup_cycles + rng.below(span)
+                actions.append(FaultAction(cycle=cycle, kind=kind))
+        actions.sort(key=lambda action: (action.cycle, action.kind))
+        return actions

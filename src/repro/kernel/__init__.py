@@ -11,8 +11,10 @@ from .kernel import SenSmartKernel
 from .node import SensorNode
 from .regions import MemoryRegion, RegionTable
 from .task import Task, TaskState
+from .termination import RESTART_POLICIES, TerminationReason
 
 __all__ = [
     "KernelConfig", "SenSmartKernel", "SensorNode",
     "MemoryRegion", "RegionTable", "Task", "TaskState",
+    "TerminationReason", "RESTART_POLICIES",
 ]

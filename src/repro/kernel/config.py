@@ -76,6 +76,31 @@ class KernelConfig:
     #: self-verifying.  Costs well under a millisecond per image.
     lint_on_link: bool = True
 
+    #: Default restart policy for tasks that die abnormally (see
+    #: repro.kernel.termination.RESTART_POLICIES); individual tasks can
+    #: override via ``Task.restart_policy``.  "never" preserves the
+    #: historical behaviour: a dead task stays dead.
+    restart_policy: str = "never"
+
+    #: Maximum times a restart policy may revive one task.
+    restart_max: int = 3
+
+    #: First restart-with-backoff delay, in time slices; each further
+    #: restart doubles it (exponential backoff).
+    restart_backoff_slices: int = 2
+
+    #: Software watchdog period in time slices: a task still current
+    #: with no slice renewal for this long is faulted (it made no
+    #: scheduler progress — e.g. its branch-trap counter was corrupted).
+    #: 0 disables the watchdog (the default; arming it schedules extra
+    #: events, which healthy runs don't need).
+    watchdog_slices: int = 0
+
+    #: On an unrecoverable kernel error (panic), reboot the node
+    #: (SensorNode cold-restarts through link_image) instead of raising
+    #: into the host.  Off preserves the historical raise.
+    panic_reboot: bool = False
+
     @property
     def memory_size(self) -> int:
         """M — size of the physical data address space."""

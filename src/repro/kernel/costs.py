@@ -52,3 +52,8 @@ FULL_SWITCH = 2298          # Table II: "Full switching"
 TIMER3_VIRTUAL = 20         # est.: virtualized Timer3 register access
 SLEEP_TRAP = 30             # est.: block task, enter scheduler
 TASK_EXIT = 120             # est.: reclaim region, schedule next
+
+# -- recovery -------------------------------------------------------------------------------
+TASK_RESTART = 1450         # est.: region wipe + context reset on a
+                            # restart-policy revival (~ half a full
+                            # context switch plus the zero-fill loop)

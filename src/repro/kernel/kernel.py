@@ -14,14 +14,16 @@ from typing import Callable, Dict, List, Optional
 from ..avr import ioports
 from ..avr.cpu import AvrCpu
 from ..avr.memory import Flash
-from ..errors import KernelError, OutOfMemory
+from ..errors import KernelError, OutOfMemory, SimulationError
 from ..toolchain.image import TargetImage
 from . import costs
 from .config import KernelConfig
+from .context import TaskContext
 from .regions import MemoryRegion, RegionTable
 from .relocation import StackRelocator
 from .scheduler import RoundRobinScheduler
 from .task import Task, TaskState
+from .termination import TerminationReason
 from .translation import AddressTranslator
 from .traps import TrapHandlers
 
@@ -37,6 +39,13 @@ class KernelStats:
     relocations: int = 0
     relocation_bytes: int = 0
     terminations: List[str] = field(default_factory=list)
+    #: Restart-policy revivals, same "name: reason" rendering as
+    #: ``terminations`` (every restart is also logged there first).
+    restarts: List[str] = field(default_factory=list)
+    #: Software-watchdog terminations (subset of ``terminations``).
+    watchdog_fires: int = 0
+    #: Kernel panics absorbed by the reboot path (see panic()).
+    panics: int = 0
     #: Trap executions by PatchKind (the kernel-side profile).
     trap_counts: Dict = field(default_factory=dict)
 
@@ -97,6 +106,11 @@ class SenSmartKernel:
         #: armed to un-park it (see _dispatch_next / _virtual_timer_fire).
         self._parked = False
         self._parked_from = 0
+        #: Set by panic(): the kernel hit an unrecoverable error and
+        #: halted; the node layer decides whether to reboot.
+        self.panicked = False
+        self.panic_reason = ""
+        self._watchdog_event = None
 
         self._load_tasks()
         self.relocator = StackRelocator(
@@ -289,7 +303,7 @@ class SenSmartKernel:
                 self.stats.relocation_bytes += result.bytes_moved
                 self.current.stack_grows += 1
                 return True
-        self.terminate_task(self.current, "stack overflow")
+        self.terminate_task(self.current, TerminationReason.STACK_OVERFLOW)
         return False
 
     # -- scheduling --------------------------------------------------------------------
@@ -327,7 +341,7 @@ class SenSmartKernel:
             task.timer_pending -= 1
             return  # a period already elapsed; continue immediately
         if task.timer_next_fire is None:
-            self.terminate_task(task, "sleep with no timer armed")
+            self.terminate_task(task, TerminationReason.SLEEP_NO_TIMER)
             return
         self._account_current()
         task.state = TaskState.BLOCKED
@@ -335,25 +349,121 @@ class SenSmartKernel:
         self.current = None
         self._dispatch_next()
 
-    def terminate_task(self, task: Task, reason: str) -> None:
+    def terminate_task(self, task: Task, reason: TerminationReason,
+                       detail: str = "") -> None:
+        """End *task* for *reason*; a restart policy may revive it.
+
+        The reason is structured (:class:`TerminationReason`); the
+        human-readable rendering in ``task.exit_reason`` and
+        ``KernelStats.terminations`` matches the historical free-form
+        strings exactly.
+        """
         if task is None or not task.alive:
             return
+        text = reason.describe(detail)
         task.state = TaskState.TERMINATED
         self.cpu.events.cancel(task._timer_event)
         task._timer_event = None
         task.timer_next_fire = None
-        task.exit_reason = reason
-        self.stats.terminations.append(f"{task.name}: {reason}")
+        self.cpu.events.cancel(task._restart_event)
+        task._restart_event = None
+        task.exit_reason = text
+        task.termination = reason
+        self.stats.terminations.append(f"{task.name}: {text}")
         self.scheduler.remove(task)
         was_current = self.current is task
         if was_current:
             self._account_current()
             self.current = None
-        if self.regions.maybe_by_task(task.task_id) is not None:
+        if reason.restartable and self._restart_allowed(task):
+            self._restart_task(task)
+        elif self.regions.maybe_by_task(task.task_id) is not None:
             grant = self.regions.release(task.task_id)
             self._apply_release_grant(grant)
         if was_current:
             self._dispatch_next()
+
+    # -- restart policies ---------------------------------------------------------
+
+    def _restart_policy_of(self, task: Task) -> str:
+        return task.restart_policy if task.restart_policy is not None \
+            else self.config.restart_policy
+
+    def _restart_allowed(self, task: Task) -> bool:
+        if self._restart_policy_of(task) == "never":
+            return False
+        cap = task.restart_max if task.restart_max is not None \
+            else self.config.restart_max
+        return task.restarts_used < cap
+
+    def _restart_task(self, task: Task) -> None:
+        """Cold-restart a dead task in place: wipe its region, reset
+        its context to the entry point, and requeue it (immediately for
+        "restart", after an exponential backoff for
+        "restart-with-backoff").  The region geometry is untouched, so
+        no neighbour moves and specialized code stays valid."""
+        task.restarts_used += 1
+        self.stats.restarts.append(f"{task.name}: {task.exit_reason}")
+        region = self.regions.by_task(task.task_id)
+        data = self.cpu.mem.data
+        for address in range(region.p_l, region.p_u):
+            data[address] = 0
+        task.context = TaskContext()
+        task.context.pc = task.image.entry
+        task.context.sp = self.translator.initial_sp(region)
+        task.branch_counter = self.config.branch_trap_period
+        task.timer_period_cycles = 0
+        task.timer_pending = 0
+        task._timer_latch_high = 0
+        task.wake_cycle = None
+        self.charge(costs.TASK_RESTART)
+        if self._restart_policy_of(task) == "restart-with-backoff":
+            slices = self.config.restart_backoff_slices \
+                * (1 << (task.restarts_used - 1))
+            due = self.cpu.cycles + slices * self.config.time_slice_cycles
+            task.state = TaskState.BLOCKED
+            task.wake_cycle = due
+            task._restart_event = self.cpu.events.schedule(
+                due, lambda task=task: self._restart_wake(task))
+        else:
+            self.scheduler.enqueue(task)
+
+    def _restart_wake(self, task: Task) -> None:
+        """Backoff elapsed (event callback): requeue the revived task."""
+        task._restart_event = None
+        if task.state is not TaskState.BLOCKED:
+            return
+        task.wake_cycle = None
+        self.scheduler.enqueue(task)
+        if self._parked:
+            self._unpark()
+
+    # -- watchdog -------------------------------------------------------------------
+
+    def _watchdog_period(self) -> int:
+        return self.config.watchdog_slices * self.config.time_slice_cycles
+
+    def _arm_watchdog(self) -> None:
+        self._watchdog_event = self.cpu.events.schedule(
+            self.cpu.cycles + self._watchdog_period(), self._watchdog_fire)
+
+    def _watchdog_fire(self) -> None:
+        """Periodic software watchdog (event callback).
+
+        A healthy task renews its slice through the 1/256 backward-
+        branch scheduler tick well inside one watchdog period; a task
+        still current with a slice older than the whole period has made
+        no scheduler progress (trap starvation — e.g. a corrupted
+        branch counter) and is faulted.
+        """
+        self._watchdog_event = None
+        task = self.current
+        if task is not None and self.cpu.cycles - task.slice_start_cycle \
+                >= self._watchdog_period():
+            self.stats.watchdog_fires += 1
+            self.terminate_task(task, TerminationReason.WATCHDOG)
+        if not self.cpu.halted:
+            self._arm_watchdog()
 
     def _apply_release_grant(self, grant) -> None:
         """Physically apply a region release (see ReleaseGrant)."""
@@ -374,8 +484,23 @@ class SenSmartKernel:
                 self.cpu.mem.move_block(sp + 1, sp + 1 + delta, used)
             self._on_sp_adjust(task_id, delta)
 
-    def fault_current(self, reason: str) -> None:
-        self.terminate_task(self.current, reason)
+    def fault_current(self, reason: TerminationReason,
+                      detail: str = "") -> None:
+        self.terminate_task(self.current, reason, detail)
+
+    def panic(self, detail: str) -> None:
+        """Unrecoverable kernel error: halt the node instead of raising.
+
+        Only taken when ``config.panic_reboot`` is on; the node layer
+        (SensorNode.run) notices ``panicked`` and cold-restarts through
+        ``link_image``.  With the flag off, the error propagates to the
+        host exactly as before.
+        """
+        self.stats.panics += 1
+        self.panicked = True
+        self.panic_reason = detail
+        self.current = None
+        self.cpu.halted = True
 
     def _dispatch_next(self) -> None:
         """Pick the next task; idle (advance time) when all are blocked.
@@ -465,14 +590,44 @@ class SenSmartKernel:
         first.slice_start_cycle = self.cpu.cycles
         self.current = first
         self._account_from = self.cpu.cycles
+        if self.config.watchdog_slices > 0:
+            self._arm_watchdog()
 
     def run(self, max_cycles: Optional[int] = None,
             max_instructions: Optional[int] = None,
             until: Optional[Callable] = None) -> None:
-        """Boot (if needed) and run until done or a limit is reached."""
+        """Boot (if needed) and run until done or a limit is reached.
+
+        A :class:`SimulationError` escaping the CPU while a task runs
+        (undecodable word after flash corruption, a wild physical
+        access) is that task's fault: the task is terminated and the
+        run continues — isolation holds even for damage the rewriter
+        could not have predicted.  Errors with no task to blame are a
+        kernel panic: re-raised by default, absorbed into a node reboot
+        under ``config.panic_reboot``.
+        """
         self.boot()
-        self.cpu.run(max_cycles=max_cycles,
-                     max_instructions=max_instructions, until=until)
+        while True:
+            try:
+                self.cpu.run(max_cycles=max_cycles,
+                             max_instructions=max_instructions,
+                             until=until)
+            except SimulationError as error:
+                if self.current is not None:
+                    self.terminate_task(self.current,
+                                        TerminationReason.FAULT,
+                                        str(error))
+                    if not self.cpu.halted:
+                        continue
+                elif self.config.panic_reboot:
+                    self.panic(str(error))
+                else:
+                    raise
+            except KernelError as error:
+                if not self.config.panic_reboot:
+                    raise
+                self.panic(str(error))
+            break
         self._account_current()
 
     # -- dynamic loading (reprogramming service) --------------------------------------

@@ -28,6 +28,7 @@ from ..toolchain.image import TaskImage
 from . import costs
 from .regions import MemoryRegion
 from .task import Task, TaskState
+from .termination import TerminationReason
 
 #: Internal flash self-programming: ~4.5 ms per 128-word page at
 #: 7.3728 MHz (SPM erase + program).
@@ -105,7 +106,7 @@ class DynamicLoader:
         kernel = self.kernel
         for task in kernel.tasks.values():
             if task.name == name and task.alive:
-                kernel.terminate_task(task, "unloaded")
+                kernel.terminate_task(task, TerminationReason.UNLOADED)
                 return
         raise KeyError(f"no live task named {name!r}")
 

@@ -5,6 +5,14 @@ experiments can say::
 
     node = SensorNode.from_sources([("blink", SRC1), ("sense", SRC2)])
     node.run(max_cycles=10_000_000)
+
+The node also owns *recovery from total failure*: :meth:`crash` models
+a hard fault or injected power glitch (the CPU stops dead), and
+:meth:`reboot` cold-restarts the node through ``link_image`` — a fresh
+kernel, fresh devices, wiped RAM — while the cycle clock keeps counting
+from the crash point, so network co-simulation time stays in one epoch.
+A kernel panic (``SenSmartKernel.panicked``) reboots automatically when
+``KernelConfig.panic_reboot`` is set.
 """
 
 from __future__ import annotations
@@ -18,13 +26,36 @@ from ..toolchain.linker import link_image
 from .config import KernelConfig
 from .kernel import SenSmartKernel
 
+#: Cold-start latency charged on a reboot: power-up + bootloader image
+#: verification before the kernel's own SYSTEM_INIT (~8 ms at 7.37 MHz).
+BOOT_DELAY_CYCLES = 60_000
+
+#: Panic-reboot loops are bounded: a node that panics more often than
+#: this in one lifetime stays down (mirrors a real watchdog-reset
+#: brown-out lockout).
+MAX_PANIC_REBOOTS = 8
+
 
 class SensorNode:
     """A simulated MICA2-class node running SenSmart."""
 
-    def __init__(self, kernel: SenSmartKernel, devices: dict):
+    def __init__(self, kernel: SenSmartKernel, devices: dict,
+                 sources: Optional[Sequence[Tuple[str, str]]] = None,
+                 adc_seed: int = 0xACE1, block_cache=None):
         self.kernel = kernel
         self.devices = devices
+        #: Build recipe retained for reboot(); nodes constructed
+        #: directly from a kernel (no sources) cannot cold-restart.
+        self._sources = list(sources) if sources is not None else None
+        self._adc_seed = adc_seed
+        self._block_cache = block_cache
+        #: True between crash() and reboot() — the node is dark.
+        self.crashed = False
+        #: Completed cold restarts (crash or panic recovery).
+        self.reboots = 0
+        #: KernelStats of previous lives (one entry per reboot), so
+        #: survivability accounting spans crashes.
+        self.stats_history = []
 
     @classmethod
     def from_sources(cls, sources: Sequence[Tuple[str, str]],
@@ -56,6 +87,14 @@ class SensorNode:
             config = replace(config, **overrides)
         image = link_image(sources, rewriter=rewriter,
                            lint=config.lint_on_link)
+        kernel, devices = cls._build_kernel(image, config, adc_seed,
+                                            block_cache)
+        return cls(kernel, devices, sources=sources, adc_seed=adc_seed,
+                   block_cache=block_cache)
+
+    @staticmethod
+    def _build_kernel(image, config: KernelConfig, adc_seed: int,
+                      block_cache):
         adc = Adc(seed=adc_seed)
         radio = Radio()
         leds = Leds()
@@ -63,8 +102,8 @@ class SensorNode:
         kernel = SenSmartKernel(image, config=config,
                                 devices=[adc, radio, leds, timer0],
                                 block_cache=block_cache)
-        return cls(kernel, {"adc": adc, "radio": radio, "leds": leds,
-                            "timer0": timer0})
+        return kernel, {"adc": adc, "radio": radio, "leds": leds,
+                        "timer0": timer0}
 
     @property
     def cpu(self):
@@ -86,11 +125,60 @@ class SensorNode:
     def leds(self) -> Leds:
         return self.devices["leds"]
 
+    # -- crash & cold restart ---------------------------------------------------
+
+    def crash(self) -> None:
+        """Hard-stop the node (injected fault / power glitch).
+
+        Everything volatile dies with it: RAM, the event queue (and any
+        in-flight RX bytes already scheduled on it), device state.  The
+        CPU halts so run loops and the network co-simulator stop
+        visiting the node until someone calls :meth:`reboot`.
+        """
+        self.crashed = True
+        self.kernel.cpu.halted = True
+
+    def reboot(self, boot_delay_cycles: int = BOOT_DELAY_CYCLES) -> None:
+        """Cold-restart: re-link the image, fresh kernel, same clock.
+
+        The node's cycle counter continues from the crash point plus
+        *boot_delay_cycles* — network time is one shared epoch and a
+        reboot does not travel back in it.  Flash is re-burned from the
+        original sources, so runtime flash corruption does not survive
+        a reboot (the bootloader reloads the stored image).
+        """
+        if self._sources is None:
+            raise ValueError(
+                "node was not built from sources; cannot cold-restart")
+        now = self.cpu.cycles
+        config = self.kernel.config
+        image = link_image(self._sources, lint=config.lint_on_link)
+        kernel, devices = self._build_kernel(image, config,
+                                             self._adc_seed,
+                                             self._block_cache)
+        kernel.cpu.cycles = now + boot_delay_cycles
+        self.stats_history.append(self.kernel.stats)
+        self.kernel = kernel
+        self.devices = devices
+        self.crashed = False
+        self.reboots += 1
+
     def run(self, max_cycles: Optional[int] = None,
             max_instructions: Optional[int] = None,
             until=None) -> None:
-        self.kernel.run(max_cycles=max_cycles,
-                        max_instructions=max_instructions, until=until)
+        while True:
+            self.kernel.run(max_cycles=max_cycles,
+                            max_instructions=max_instructions,
+                            until=until)
+            if self.kernel.panicked and self.kernel.config.panic_reboot \
+                    and self.reboots < MAX_PANIC_REBOOTS \
+                    and self._sources is not None:
+                self.reboot()
+                if max_cycles is not None and \
+                        self.cpu.cycles >= max_cycles:
+                    return
+                continue
+            return
 
     @property
     def finished(self) -> bool:

@@ -8,6 +8,7 @@ from typing import Optional
 
 from ..toolchain.image import TaskImage
 from .context import TaskContext
+from .termination import TerminationReason
 
 
 class TaskState(enum.Enum):
@@ -61,6 +62,22 @@ class Task:
     #: Largest stack depth in bytes the task ever reached.
     max_stack_used: int = 0
     exit_reason: str = ""
+    #: Structured form of the last termination (None while alive and
+    #: never terminated; survives a restart so campaigns can tell what
+    #: a revived task died of).
+    termination: Optional[TerminationReason] = None
+
+    # -- recovery -------------------------------------------------------------
+    #: Per-task restart policy override; None inherits
+    #: ``KernelConfig.restart_policy``.
+    restart_policy: Optional[str] = None
+    #: Per-task restart cap override; None inherits
+    #: ``KernelConfig.restart_max``.
+    restart_max: Optional[int] = None
+    #: Times a restart policy has revived this task.
+    restarts_used: int = 0
+    #: Pending restart-with-backoff wake event (repro.sim.Event).
+    _restart_event: Optional[object] = None
 
     @property
     def name(self) -> str:

@@ -1,0 +1,56 @@
+"""Structured task-termination taxonomy.
+
+The kernel used to terminate tasks with free-form strings; recovery
+policies (restart / restart-with-backoff, watchdog, chaos campaigns)
+need to *branch* on why a task died, so the reasons are now an enum.
+``value`` carries the exact human-readable string the free-form API
+used, which keeps ``KernelStats.terminations`` and ``task.exit_reason``
+byte-identical for every pre-existing report and experiment.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class TerminationReason(enum.Enum):
+    """Why the kernel terminated a task.
+
+    ``value`` is the human-readable rendering; a termination with extra
+    context renders as ``f"{reason.value}: {detail}"`` (the FAULT
+    variant reproduces the historical ``"fault: <why>"`` strings).
+    """
+
+    #: The task ran to completion (BREAK / task-exit trap).
+    EXIT = "exit"
+    #: Stack growth failed: no donor region had surplus to relocate.
+    STACK_OVERFLOW = "stack overflow"
+    #: SLEEP executed with no virtual timer armed — nothing can wake it.
+    SLEEP_NO_TIMER = "sleep with no timer armed"
+    #: Removed by the dynamic loader's unload service.
+    UNLOADED = "unloaded"
+    #: Control flow left the task's program for the kernel flash region.
+    KERNEL_ESCAPE = "execution escaped into the kernel region"
+    #: An invalid operation (out-of-region access, bad indirect branch,
+    #: undecodable instruction after flash corruption, ...).
+    FAULT = "fault"
+    #: The software watchdog saw no scheduler progress for N slices.
+    WATCHDOG = "watchdog: no scheduler progress"
+
+    @property
+    def restartable(self) -> bool:
+        """May a restart policy revive a task that died this way?
+
+        Voluntary endings (EXIT) and administrative removal (UNLOADED)
+        are final; everything else is a failure a restart can answer.
+        """
+        return self not in (TerminationReason.EXIT,
+                            TerminationReason.UNLOADED)
+
+    def describe(self, detail: str = "") -> str:
+        """Human-readable rendering, matching the legacy strings."""
+        return f"{self.value}: {detail}" if detail else self.value
+
+
+#: Valid per-task / per-node restart policies.
+RESTART_POLICIES = ("never", "restart", "restart-with-backoff")

@@ -14,6 +14,7 @@ from ..avr import ioports
 from ..errors import KernelError, TaskFault
 from ..rewriter.classify import PatchKind
 from . import costs
+from .termination import TerminationReason
 from .translation import AccessClass
 
 #: LD/ST pointer-mode base registers.
@@ -56,7 +57,7 @@ class TrapHandlers:
         kernel = self.kernel
         trampoline = kernel.trampolines.get(target)
         if trampoline is None or site < 0:
-            kernel.fault_current("execution escaped into the kernel region")
+            kernel.fault_current(TerminationReason.KERNEL_ESCAPE)
             return
         resume = site + 2
         counts = kernel.stats.trap_counts
@@ -64,7 +65,8 @@ class TrapHandlers:
         try:
             self._table[trampoline.kind](cpu, trampoline.params, resume)
         except TaskFault as fault:
-            kernel.terminate_task(kernel.current, f"fault: {fault.reason}")
+            kernel.terminate_task(kernel.current, TerminationReason.FAULT,
+                                  fault.reason)
 
     def thunk_factory(self, cpu, site: int, target: int, is_call: bool):
         """Specialized trap thunk for a patched site, or None.
@@ -94,7 +96,8 @@ class TrapHandlers:
                 handler(cpu, params, resume)
             except TaskFault as fault:
                 kernel.terminate_task(kernel.current,
-                                      f"fault: {fault.reason}")
+                                      TerminationReason.FAULT,
+                                      fault.reason)
         return run
 
     # -- data memory ---------------------------------------------------------------
@@ -309,7 +312,7 @@ class TrapHandlers:
     def task_exit(self, cpu, params, resume: int) -> None:
         kernel = self.kernel
         kernel.charge(costs.TASK_EXIT)
-        kernel.terminate_task(kernel.current, "exit")
+        kernel.terminate_task(kernel.current, TerminationReason.EXIT)
 
     # -- OS-reserved resources -----------------------------------------------------------
 

@@ -46,16 +46,40 @@ DEFAULT_QUANTUM_CYCLES = 10_000
 
 @dataclass
 class Link:
-    """A unidirectional byte link between two nodes' radios."""
+    """A unidirectional byte link between two nodes' radios.
+
+    Besides deterministic loss, a link can corrupt bytes (one bit
+    XORed per hit) and duplicate bytes (delivered twice at the same
+    arrival cycle).  Each fault kind draws from its *own* 16-bit LFSR
+    stream, so enabling corruption or duplication never perturbs which
+    bytes the loss stream drops — campaigns can dial one knob at a
+    time.  Truncated packets need no separate stream in a byte-link
+    model: a run of tail bytes eaten by the loss stream *is* a
+    truncation.
+
+    Loss decisions are taken per byte, in ferry order — the order the
+    sender clocked the bytes out — identically under the event-driven
+    and lockstep schedulers (pinned by a regression test).
+    """
 
     source: str
     destination: str
     latency_cycles: int = 2_000
-    loss_permille: int = 0  # deterministic loss rate, 0..1000
+    loss_permille: int = 0      # deterministic loss rate, 0..1000
+    corrupt_permille: int = 0   # deterministic bit-flip rate, 0..1000
+    dup_permille: int = 0       # deterministic duplication rate, 0..1000
     _tx_cursor: int = 0
-    _lfsr: int = 0xB5AD
+    _lfsr: int = 0xB5AD         # loss stream
+    _corrupt_lfsr: int = 0x9C41  # corruption stream (independent)
+    _dup_lfsr: int = 0x5ED1      # duplication stream (independent)
     delivered: int = 0
     dropped: int = 0
+    corrupted: int = 0
+    duplicated: int = 0
+    #: Ferry-order index (0-based, counting every byte the sender
+    #: clocked out on this link) of each dropped byte.
+    drop_positions: List[int] = field(default_factory=list)
+    _byte_index: int = 0
     #: Bytes the sender's bounded TX ring evicted before the ferry
     #: read them (stays 0 as long as ferrying keeps up with the ring).
     log_missed: int = 0
@@ -63,13 +87,37 @@ class Link:
     #: (always the sender's TX cycle plus ``latency_cycles``).
     arrival_cycles: List[int] = field(default_factory=list)
 
+    @staticmethod
+    def _step_lfsr(state: int) -> int:
+        bit = ((state >> 0) ^ (state >> 2) ^ (state >> 3)
+               ^ (state >> 5)) & 1
+        return ((state >> 1) | (bit << 15)) & 0xFFFF
+
     def _lose(self) -> bool:
         if self.loss_permille <= 0:
             return False
-        lfsr = self._lfsr
-        bit = ((lfsr >> 0) ^ (lfsr >> 2) ^ (lfsr >> 3) ^ (lfsr >> 5)) & 1
-        self._lfsr = ((lfsr >> 1) | (bit << 15)) & 0xFFFF
+        self._lfsr = self._step_lfsr(self._lfsr)
         return (self._lfsr % 1000) < self.loss_permille
+
+    def _corrupt(self, value: int) -> int:
+        """One deterministic bit flip when the corruption stream hits."""
+        if self.corrupt_permille <= 0:
+            return value
+        self._corrupt_lfsr = self._step_lfsr(self._corrupt_lfsr)
+        if (self._corrupt_lfsr % 1000) >= self.corrupt_permille:
+            return value
+        self._corrupt_lfsr = self._step_lfsr(self._corrupt_lfsr)
+        self.corrupted += 1
+        return value ^ (1 << (self._corrupt_lfsr % 8))
+
+    def _duplicate(self) -> bool:
+        if self.dup_permille <= 0:
+            return False
+        self._dup_lfsr = self._step_lfsr(self._dup_lfsr)
+        if (self._dup_lfsr % 1000) >= self.dup_permille:
+            return False
+        self.duplicated += 1
+        return True
 
 
 class Network:
@@ -112,14 +160,20 @@ class Network:
     def connect(self, source: str, destination: str,
                 latency_cycles: int = 2_000,
                 loss_permille: int = 0,
+                corrupt_permille: int = 0,
+                dup_permille: int = 0,
                 bidirectional: bool = False) -> None:
         self.add_link(Link(source=source, destination=destination,
                            latency_cycles=latency_cycles,
-                           loss_permille=loss_permille))
+                           loss_permille=loss_permille,
+                           corrupt_permille=corrupt_permille,
+                           dup_permille=dup_permille))
         if bidirectional:
             self.add_link(Link(source=destination, destination=source,
                                latency_cycles=latency_cycles,
-                               loss_permille=loss_permille))
+                               loss_permille=loss_permille,
+                               corrupt_permille=corrupt_permille,
+                               dup_permille=dup_permille))
 
     # -- execution -----------------------------------------------------------------
 
@@ -237,14 +291,20 @@ class Network:
             if not fresh:
                 continue
             for _, value, tx_cycle in fresh:
+                index = link._byte_index
+                link._byte_index += 1
                 if link._lose():
                     link.dropped += 1
+                    link.drop_positions.append(index)
                     continue
+                value = link._corrupt(value)
+                copies = 2 if link._duplicate() else 1
                 due = tx_cycle + link.latency_cycles
-                dst.cpu.events.schedule(
-                    due,
-                    lambda link=link, dst=dst, value=value, due=due:
-                        self._deliver(link, dst, value, due))
+                for _copy in range(copies):
+                    dst.cpu.events.schedule(
+                        due,
+                        lambda link=link, dst=dst, value=value, due=due:
+                            self._deliver(link, dst, value, due))
 
     def _deliver(self, link: Link, dst: SensorNode, value: int,
                  due: int) -> None:
