@@ -13,10 +13,14 @@ Three cooperating passes over compiled (and naturalized) programs:
 
 from .cfg import ControlFlowGraph, build_cfg
 from .lint import LintFinding, LintReport, lint_image, lint_sources
+from .liveness import (ALL_FLAGS, SregLiveness, block_transfer,
+                       sreg_effects, sreg_liveness)
 from .stackdepth import INFINITE_DEPTH, StackAnalysis, analyze_program
 
 __all__ = [
     "ControlFlowGraph", "build_cfg",
     "INFINITE_DEPTH", "StackAnalysis", "analyze_program",
     "LintFinding", "LintReport", "lint_image", "lint_sources",
+    "ALL_FLAGS", "SregLiveness", "block_transfer",
+    "sreg_effects", "sreg_liveness",
 ]

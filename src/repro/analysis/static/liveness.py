@@ -1,0 +1,161 @@
+"""SREG liveness over the basic-block CFG.
+
+A classic backward dataflow pass, specialized to the eight AVR status
+flags: for every basic block, which SREG bits may still be read before
+being overwritten (*live-out*), and which bits the block itself needs on
+entry (*live-in*).
+
+Two consumers:
+
+* the trace compiler (:mod:`repro.avr.trace`) uses the per-mnemonic
+  read/write masks — :func:`sreg_effects` — plus its own tiny fixpoint
+  over the handful of blocks in a trace to elide flag computation that
+  no successor inside the trace (and no trace exit) can observe;
+* static analysis / tests use :func:`sreg_liveness` over a whole
+  program's :class:`~.cfg.ControlFlowGraph`, e.g. to report how much of
+  a workload's flag traffic is dead.
+
+Everything unknown is conservative: an unrecognized mnemonic *reads*
+all eight flags and writes none, calls and external/indirect edges leak
+all flags, so a bit reported dead is provably dead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from .cfg import CfgNode, ControlFlowGraph
+
+# SREG flag masks, identical to repro.avr.cpu's.
+C, Z, N, V, S, H, T, I = (1 << b for b in range(8))
+ALL_FLAGS = 0xFF
+_ARITH = C | Z | N | V | S | H
+_LOGIC = Z | N | V | S
+_SHIFT = C | Z | N | V | S
+
+#: SREG I/O address (``OUT 0x3F``/``IN r, 0x3F`` move the whole register).
+_SREG_IO = 0x3F
+
+#: mnemonic -> (reads, writes); mnemonics absent here are conservative.
+_EFFECTS: Dict[str, Tuple[int, int]] = {
+    "ADD": (0, _ARITH), "ADC": (C, _ARITH),
+    "SUB": (0, _ARITH), "SUBI": (0, _ARITH),
+    "CP": (0, _ARITH), "CPI": (0, _ARITH), "NEG": (0, _ARITH),
+    "SBC": (C | Z, _ARITH), "SBCI": (C | Z, _ARITH),
+    "CPC": (C | Z, _ARITH),
+    "AND": (0, _LOGIC), "ANDI": (0, _LOGIC),
+    "OR": (0, _LOGIC), "ORI": (0, _LOGIC), "EOR": (0, _LOGIC),
+    "INC": (0, _LOGIC), "DEC": (0, _LOGIC),
+    "COM": (0, _SHIFT), "LSR": (0, _SHIFT), "ASR": (0, _SHIFT),
+    "ROR": (C, _SHIFT),
+    "ADIW": (0, _SHIFT), "SBIW": (0, _SHIFT),
+    "MUL": (0, C | Z), "MULS": (0, C | Z), "MULSU": (0, C | Z),
+    "FMUL": (0, C | Z), "FMULS": (0, C | Z), "FMULSU": (0, C | Z),
+    "BST": (0, T), "BLD": (T, 0),
+    "RETI": (0, I),
+    "CPSE": (0, 0), "SBRC": (0, 0), "SBRS": (0, 0),
+    "SBIC": (0, 0), "SBIS": (0, 0), "SBI": (0, 0), "CBI": (0, 0),
+    "MOV": (0, 0), "MOVW": (0, 0), "LDI": (0, 0), "SWAP": (0, 0),
+    "LD": (0, 0), "ST": (0, 0), "LDD": (0, 0), "STD": (0, 0),
+    "LDS": (0, 0), "STS": (0, 0), "LPM": (0, 0),
+    "PUSH": (0, 0), "POP": (0, 0),
+    "NOP": (0, 0), "WDR": (0, 0), "SLEEP": (0, 0), "BREAK": (0, 0),
+    "RJMP": (0, 0), "JMP": (0, 0), "IJMP": (0, 0),
+}
+
+#: Control transfers whose continuation is outside the local analysis
+#: (the callee / caller / unknown code may read anything).
+_LEAKS_ALL = frozenset({"CALL", "RCALL", "ICALL", "RET", "RETI"})
+
+
+def sreg_effects(mnemonic: str, operands: Tuple = ()) -> Tuple[int, int]:
+    """``(reads, writes)`` SREG bit masks for one instruction.
+
+    Conservative: unknown mnemonics read every flag and write none, so
+    liveness computed from these masks can only over-approximate.
+    """
+    if mnemonic in ("BSET", "BCLR"):
+        return 0, 1 << operands[0]
+    if mnemonic in ("BRBS", "BRBC"):
+        return 1 << operands[0], 0
+    if mnemonic == "OUT" and operands and operands[0] == _SREG_IO:
+        return 0, ALL_FLAGS
+    if mnemonic == "IN" and len(operands) > 1 and operands[1] == _SREG_IO:
+        return ALL_FLAGS, 0
+    if mnemonic in _LEAKS_ALL:
+        return ALL_FLAGS, 0
+    effects = _EFFECTS.get(mnemonic)
+    if effects is None:
+        return ALL_FLAGS, 0
+    return effects
+
+
+def block_transfer(node: CfgNode, live_out: int) -> int:
+    """Live-in bits of *node* given its *live_out* bits: one backward
+    walk applying ``live = (live & ~writes) | reads`` per instruction."""
+    live = live_out
+    for instruction in reversed(node.block.instructions):
+        reads, writes = sreg_effects(instruction.mnemonic,
+                                     instruction.operands)
+        live = (live & ~writes) | reads
+    return live
+
+
+@dataclass
+class SregLiveness:
+    """Per-block SREG liveness of one program."""
+
+    live_in: Dict[int, int] = field(default_factory=dict)
+    live_out: Dict[int, int] = field(default_factory=dict)
+
+    def dead_writes(self, cfg: ControlFlowGraph) -> Dict[int, int]:
+        """Per-block mask of flag bits the block architecturally writes
+        but nothing downstream can read (upper bound on elision)."""
+        dead: Dict[int, int] = {}
+        for start, node in cfg.nodes.items():
+            written = 0
+            for instruction in node.block.instructions:
+                _, writes = sreg_effects(instruction.mnemonic,
+                                         instruction.operands)
+                written |= writes
+            dead[start] = written & ~self.live_out[start] \
+                & ~block_transfer(node, 0)
+        return dead
+
+
+def sreg_liveness(cfg: ControlFlowGraph,
+                  exit_live: int = ALL_FLAGS) -> SregLiveness:
+    """Per-block SREG live-in/live-out fixpoint over *cfg*.
+
+    *exit_live* is the mask assumed live at every edge leaving the
+    analyzed program (RET/BREAK/external/indirect targets); the default
+    assumes the outside world may read everything.
+    """
+    result = SregLiveness()
+    nodes = cfg.nodes
+    for start in nodes:
+        result.live_in[start] = 0
+        result.live_out[start] = 0
+    changed = True
+    while changed:
+        changed = False
+        for start, node in nodes.items():
+            out = 0
+            last = node.block.instructions[-1].mnemonic
+            if node.external or node.indirect_site is not None or \
+                    node.calls or last in ("RET", "RETI", "BREAK",
+                                           "SLEEP"):
+                out = exit_live
+            for successor in node.successors:
+                if successor in nodes:
+                    out |= result.live_in[successor]
+                else:
+                    out = exit_live
+            new_in = block_transfer(node, out)
+            if out != result.live_out[start] or \
+                    new_in != result.live_in[start]:
+                result.live_out[start] = out
+                result.live_in[start] = new_in
+                changed = True
+    return result

@@ -96,8 +96,10 @@ def _flags_logic(res: int) -> int:
     return f
 
 
-#: Member cap per superblock: bounds how far the exact-stop fallback
-#: (see :meth:`AvrCpu.run`) may have to single-step near a limit.
+#: Default member cap per superblock: bounds how far the exact-stop
+#: fallback (see :meth:`AvrCpu.run`) may have to single-step near a
+#: limit.  Per-CPU override via ``AvrCpu(max_block=...)`` /
+#: ``KernelConfig.max_block_members``.
 _MAX_BLOCK = 48
 
 
@@ -277,10 +279,11 @@ class AvrCpu(SimClock):
 
     def __init__(self, flash: Flash, memory: Optional[DataMemory] = None,
                  clock_hz: int = 7_372_800, fuse: bool = True,
-                 block_cache=None):
+                 block_cache=None, max_block: int = _MAX_BLOCK):
         """*block_cache*: ``None`` joins the process-wide
         :class:`SuperblockCache`, ``False`` disables cross-CPU block
-        sharing, or pass an explicit cache instance."""
+        sharing, or pass an explicit cache instance.  *max_block* caps
+        the members fused per superblock (and per trace segment)."""
         SimClock.__init__(self)
         self.flash = flash
         self.mem = memory if memory is not None else DataMemory()
@@ -313,6 +316,10 @@ class AvrCpu(SimClock):
         else:
             self._block_cache = block_cache
         self._cache_base_key = None  # lazy (fingerprint, ...) tuple
+        self._max_block = max_block
+        #: Optional trace compiler (repro.avr.trace.TraceCompiler);
+        #: consulted by _fuse_block before plain superblock fusion.
+        self._tracer = None
         # Run limits as seen by self-looping superblocks; _run_fused
         # refreshes them on every run() call.
         self._run_mc = float("inf")
@@ -362,6 +369,16 @@ class AvrCpu(SimClock):
         self._trap_inline_factory = inline_factory
         self._update_trap_envelope()
         # Invalidate decoded thunks and fused blocks: targets may now trap.
+        self.invalidate_decode()
+
+    def set_tracer(self, tracer) -> None:
+        """Install a trace compiler; ``_fuse_block`` consults it first.
+
+        ``tracer.entry_for(pc)`` may return a ``(closure, icount, cost)``
+        dispatch entry covering several chained superblocks, or ``None``
+        to fall back to plain fusion.
+        """
+        self._tracer = tracer
         self.invalidate_decode()
 
     def add_trap_region(self, lo: int, hi: int) -> None:
@@ -648,6 +665,11 @@ class AvrCpu(SimClock):
 
         Returns and caches ``(closure, instruction_count, member_cycles)``.
         """
+        if self._tracer is not None and self.profile is None:
+            entry = self._tracer.entry_for(pc)
+            if entry is not None:
+                self._blocks[pc] = entry
+                return entry
         base = self._cache_base()
         if base is not None:
             entry = self._from_cache(base, pc)
@@ -668,7 +690,7 @@ class AvrCpu(SimClock):
         term = None
         term_ins = None
         trap_info = None
-        while len(member_addrs) < _MAX_BLOCK:
+        while len(member_addrs) < self._max_block:
             if self.in_trap_region(cur):
                 break  # never fuse across a trap-region boundary
             if cur == pc:
@@ -872,93 +894,124 @@ class AvrCpu(SimClock):
         the block-local ``sr``.  Site-specific tables are bound into
         *ns* under names derived from *uid*.
         """
+        parts = self._member_parts(ins, ns, uid)
+        if parts is None:
+            return None
+        effect, flags, cycles, touches, _ = parts
+        return (effect + flags, cycles, touches)
+
+    def _member_parts(self, ins: Instruction, ns: dict, uid: int):
+        """Split member source for the trace compiler, or None.
+
+        Returns ``(effect_lines, flag_lines, cycles, touches_sreg,
+        preds)``: the register/memory effect, the (separable) SREG
+        update, the cycle cost, whether any line touches ``sr``, and a
+        dict of flag-bit -> predicate expression valid *after* the
+        effect lines — used by traces to test a branch condition
+        directly on the result and defer (or elide) the flag
+        computation.  ``effect + flags`` is exactly the
+        :meth:`_member_src` line list, so both tiers compile identical
+        semantics from one template.
+        """
         m = ins.mnemonic
         ops = ins.operands
         if m in ("ADD", "ADC"):
             d, rr = ops
             ns[f"t{uid}"] = _add_table(0)
+            preds = {Z: f"not r[{d}]", N: f"r[{d}] & 0x80"}
             if m == "ADD":
                 return ([f"a = r[{d}]; b = r[{rr}]",
-                         f"r[{d}] = (a + b) & 0xFF",
-                         f"sr = (sr & ~{_ARITH}) | t{uid}[(a << 8) | b]"],
-                        1, True)
+                         f"r[{d}] = (a + b) & 0xFF"],
+                        [f"sr = (sr & ~{_ARITH}) | t{uid}[(a << 8) | b]"],
+                        1, True, preds)
             ns[f"u{uid}"] = _add_table(1)
             return ([f"a = r[{d}]; b = r[{rr}]; cin = sr & 1",
-                     f"r[{d}] = (a + b + cin) & 0xFF",
-                     f"sr = (sr & ~{_ARITH}) | "
+                     f"r[{d}] = (a + b + cin) & 0xFF"],
+                    [f"sr = (sr & ~{_ARITH}) | "
                      f"(u{uid} if cin else t{uid})[(a << 8) | b]"],
-                    1, True)
+                    1, True, preds)
         if m in ("SUB", "CP"):
             d, rr = ops
             ns[f"t{uid}"] = _sub_table(0)
-            lines = [f"a = r[{d}]; b = r[{rr}]"]
+            effect = [f"a = r[{d}]; b = r[{rr}]"]
             if m == "SUB":
-                lines.append(f"r[{d}] = (a - b) & 0xFF")
-            lines.append(f"sr = (sr & ~{_ARITH}) | t{uid}[(a << 8) | b]")
-            return (lines, 1, True)
+                effect.append(f"r[{d}] = (a - b) & 0xFF")
+                preds = {Z: f"not r[{d}]", N: f"r[{d}] & 0x80",
+                         C: "b > a"}
+            else:
+                preds = {Z: "a == b", N: "(a - b) & 0x80", C: "b > a"}
+            return (effect,
+                    [f"sr = (sr & ~{_ARITH}) | t{uid}[(a << 8) | b]"],
+                    1, True, preds)
         if m in ("SBC", "CPC"):
             d, rr = ops
             ns[f"t{uid}"] = _sub_table(0)
             ns[f"u{uid}"] = _sub_table(1)
-            lines = [f"a = r[{d}]; b = r[{rr}]; cin = sr & 1"]
+            effect = [f"a = r[{d}]; b = r[{rr}]; cin = sr & 1"]
             if m == "SBC":
-                lines.append(f"r[{d}] = (a - b - cin) & 0xFF")
+                effect.append(f"r[{d}] = (a - b - cin) & 0xFF")
             # Z only survives if it was already set.
-            lines += [f"f = (u{uid} if cin else t{uid})[(a << 8) | b]",
-                      f"sr = (sr & ~{_ARITH}) | (f & ~{Z}) | "
-                      f"(f & {Z} & sr)"]
-            return (lines, 1, True)
+            return (effect,
+                    [f"f = (u{uid} if cin else t{uid})[(a << 8) | b]",
+                     f"sr = (sr & ~{_ARITH}) | (f & ~{Z}) | "
+                     f"(f & {Z} & sr)"],
+                    1, True, {})
         if m in ("AND", "OR", "EOR"):
             d, rr = ops
             op = {"AND": "&", "OR": "|", "EOR": "^"}[m]
             return ([f"res = r[{d}] {op} r[{rr}]",
-                     f"r[{d}] = res",
-                     f"sr = (sr & ~{_LOGIC}) | lf[res]"],
-                    1, True)
+                     f"r[{d}] = res"],
+                    [f"sr = (sr & ~{_LOGIC}) | lf[res]"],
+                    1, True, {Z: "not res", N: "res & 0x80"})
         if m == "MOV":
             d, rr = ops
-            return ([f"r[{d}] = r[{rr}]"], 1, False)
+            return ([f"r[{d}] = r[{rr}]"], [], 1, False, {})
         if m == "MOVW":
             d, rr = ops
             return ([f"r[{d}] = r[{rr}]", f"r[{d + 1}] = r[{rr + 1}]"],
-                    1, False)
+                    [], 1, False, {})
         if m == "MUL":
             d, rr = ops
             return ([f"res = r[{d}] * r[{rr}]",
                      "r[0] = res & 0xFF",
-                     "r[1] = (res >> 8) & 0xFF",
-                     f"f = {C} if res & 0x8000 else 0",
+                     "r[1] = (res >> 8) & 0xFF"],
+                    [f"f = {C} if res & 0x8000 else 0",
                      f"if res == 0: f |= {Z}",
                      f"sr = (sr & ~{C | Z}) | f"],
-                    2, True)
+                    2, True, {Z: "not res", C: "res & 0x8000"})
         if m in ("SUBI", "CPI"):
             d, k = ops
             ns[f"t{uid}"] = _sub_row(k, 0)
-            lines = [f"a = r[{d}]"]
+            effect = [f"a = r[{d}]"]
             if m == "SUBI":
-                lines.append(f"r[{d}] = (a - {k}) & 0xFF")
-            lines.append(f"sr = (sr & ~{_ARITH}) | t{uid}[a]")
-            return (lines, 1, True)
+                effect.append(f"r[{d}] = (a - {k}) & 0xFF")
+                preds = {Z: f"not r[{d}]", N: f"r[{d}] & 0x80",
+                         C: f"{k} > a"}
+            else:
+                preds = {Z: f"a == {k}", N: f"(a - {k}) & 0x80",
+                         C: f"{k} > a"}
+            return (effect, [f"sr = (sr & ~{_ARITH}) | t{uid}[a]"],
+                    1, True, preds)
         if m == "SBCI":
             d, k = ops
             ns[f"t{uid}"] = _sub_row(k, 0)
             ns[f"u{uid}"] = _sub_row(k, 1)
             return ([f"a = r[{d}]; cin = sr & 1",
-                     f"r[{d}] = (a - {k} - cin) & 0xFF",
-                     f"f = (u{uid} if cin else t{uid})[a]",
+                     f"r[{d}] = (a - {k} - cin) & 0xFF"],
+                    [f"f = (u{uid} if cin else t{uid})[a]",
                      f"sr = (sr & ~{_ARITH}) | (f & ~{Z}) | "
                      f"(f & {Z} & sr)"],
-                    1, True)
+                    1, True, {})
         if m in ("ANDI", "ORI"):
             d, k = ops
             op = "&" if m == "ANDI" else "|"
             return ([f"res = r[{d}] {op} {k}",
-                     f"r[{d}] = res",
-                     f"sr = (sr & ~{_LOGIC}) | lf[res]"],
-                    1, True)
+                     f"r[{d}] = res"],
+                    [f"sr = (sr & ~{_LOGIC}) | lf[res]"],
+                    1, True, {Z: "not res", N: "res & 0x80"})
         if m == "LDI":
             d, k = ops
-            return ([f"r[{d}] = {k}"], 1, False)
+            return ([f"r[{d}] = {k}"], [], 1, False, {})
         if m in ("ADIW", "SBIW"):
             d, k = ops
             # Flag nibble per (res15, val15) quadrant, precomputed from
@@ -974,6 +1027,7 @@ class AvrCpu(SimClock):
                         f"({C | Z} if res == 0 else {C})",
                         f"else:",
                         f"    sr = sr & ~{_SHIFT}"]
+                carry = "(v & ~res) & 0x8000"
             else:
                 expr = f"(v - {k}) & 0xFFFF"
                 quad = [f"if res & 0x8000:",
@@ -984,55 +1038,57 @@ class AvrCpu(SimClock):
                         f"else:",
                         f"    sr = (sr & ~{_SHIFT}) | "
                         f"({Z} if res == 0 else 0)"]
+                carry = "(res & ~v) & 0x8000"
             return ([f"v = r[{d}] | (r[{d + 1}] << 8)",
                      f"res = {expr}",
                      f"r[{d}] = res & 0xFF",
-                     f"r[{d + 1}] = res >> 8"] + quad,
-                    2, True)
+                     f"r[{d + 1}] = res >> 8"],
+                    quad, 2, True,
+                    {Z: "not res", N: "res & 0x8000", C: carry})
         if m == "COM":
             (d,) = ops
             return ([f"res = (~r[{d}]) & 0xFF",
-                     f"r[{d}] = res",
-                     f"sr = (sr & ~{_SHIFT}) | {C} | lf[res]"],
-                    1, True)
+                     f"r[{d}] = res"],
+                    [f"sr = (sr & ~{_SHIFT}) | {C} | lf[res]"],
+                    1, True, {Z: "not res", N: "res & 0x80"})
         if m == "NEG":
             (d,) = ops
             return ([f"a = r[{d}]",
-                     f"r[{d}] = (-a) & 0xFF",
-                     f"sr = (sr & ~{_ARITH}) | negf[a]"],
-                    1, True)
+                     f"r[{d}] = (-a) & 0xFF"],
+                    [f"sr = (sr & ~{_ARITH}) | negf[a]"],
+                    1, True, {Z: "not a", C: "a"})
         if m == "SWAP":
             (d,) = ops
             return ([f"a = r[{d}]",
                      f"r[{d}] = ((a << 4) | (a >> 4)) & 0xFF"],
-                    1, False)
+                    [], 1, False, {})
         if m in ("INC", "DEC"):
             (d,) = ops
             delta = "+ 1" if m == "INC" else "- 1"
             table = "incf" if m == "INC" else "decf"
             return ([f"res = (r[{d}] {delta}) & 0xFF",
-                     f"r[{d}] = res",
-                     f"sr = (sr & ~{_LOGIC}) | {table}[res]"],
-                    1, True)
+                     f"r[{d}] = res"],
+                    [f"sr = (sr & ~{_LOGIC}) | {table}[res]"],
+                    1, True, {Z: "not res", N: "res & 0x80"})
         if m == "LSR":
             (d,) = ops
             return ([f"a = r[{d}]",
-                     f"r[{d}] = a >> 1",
-                     f"sr = (sr & ~{_SHIFT}) | lsrf[a]"],
-                    1, True)
+                     f"r[{d}] = a >> 1"],
+                    [f"sr = (sr & ~{_SHIFT}) | lsrf[a]"],
+                    1, True, {C: "a & 1", Z: "a < 2"})
         if m == "ASR":
             (d,) = ops
             return ([f"a = r[{d}]",
-                     f"r[{d}] = (a >> 1) | (a & 0x80)",
-                     f"sr = (sr & ~{_SHIFT}) | asrf[a]"],
-                    1, True)
+                     f"r[{d}] = (a >> 1) | (a & 0x80)"],
+                    [f"sr = (sr & ~{_SHIFT}) | asrf[a]"],
+                    1, True, {C: "a & 1", Z: "a < 2"})
         if m == "ROR":
             (d,) = ops
             return ([f"a = r[{d}]; cin = sr & 1",
-                     f"r[{d}] = (a >> 1) | (cin << 7)",
-                     f"sr = (sr & ~{_SHIFT}) | "
+                     f"r[{d}] = (a >> 1) | (cin << 7)"],
+                    [f"sr = (sr & ~{_SHIFT}) | "
                      f"(rorf1 if cin else rorf0)[a]"],
-                    1, True)
+                    1, True, {C: "a & 1"})
         if m in ("LDS", "STS"):
             d, k = ops
             # Static SRAM only: I/O, SP and SREG addresses keep their
@@ -1040,7 +1096,7 @@ class AvrCpu(SimClock):
             if ioports.RAM_START <= k < self.mem.size:
                 line = f"mem[{k}] = r[{d}]" if m == "STS" \
                     else f"r[{d}] = mem[{k}]"
-                return ([line], 2, False)
+                return ([line], [], 2, False, {})
             return None
         if m == "LPM":
             d, mode = ops
@@ -1050,14 +1106,14 @@ class AvrCpu(SimClock):
                 lines += ["z = (z + 1) & 0xFFFF",
                           "r[30] = z & 0xFF",
                           "r[31] = z >> 8"]
-            return (lines, 3, False)
+            return (lines, [], 3, False, {})
         if m in ("BSET", "BCLR"):
             (s,) = ops
             if s == 7:  # SEI/CLI: interrupt delivery is boundary-checked
                 return None
             mask = 1 << s
             line = f"sr |= {mask}" if m == "BSET" else f"sr &= ~{mask}"
-            return ([line], 1, True)
+            return ([], [line], 1, True, {})
         if m == "BLD":
             d, b = ops
             mask = 1 << b
@@ -1065,17 +1121,18 @@ class AvrCpu(SimClock):
                      f"    r[{d}] |= {mask}",
                      "else:",
                      f"    r[{d}] &= ~{mask}"],
-                    1, True)
+                    [], 1, True, {})
         if m == "BST":
             d, b = ops
             mask = 1 << b
-            return ([f"if r[{d}] & {mask}:",
+            return ([],
+                    [f"if r[{d}] & {mask}:",
                      f"    sr |= {T}",
                      "else:",
                      f"    sr &= ~{T}"],
-                    1, True)
+                    1, True, {})
         if m in ("NOP", "WDR"):
-            return ([], 1, False)
+            return ([], [], 1, False, {})
         return None
 
     def _self_loop_body(self, ins: Instruction, members: List[str],

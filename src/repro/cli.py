@@ -68,7 +68,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
           f"{stats.relocations}  idle: {stats.idle_cycles}")
     if node.radio.transmitted:
         print(f"  radio transmitted {len(node.radio.transmitted)} bytes")
+    if args.stats:
+        _print_jit_stats(node)
     return 0 if node.finished else 1
+
+
+def _print_jit_stats(node) -> None:
+    """The ``sensmart run --stats`` report: superblock-cache traffic,
+    trap-specializer activity, and trace-compiler activity."""
+    kernel = node.kernel
+    cache = node.cpu._block_cache
+    if cache is not None:
+        print(f"  block cache: {cache.hits} hits, {cache.misses} misses,"
+              f" {len(cache.compile_counts)} distinct compiles")
+        multi = {key: count for key, count
+                 in cache.compile_counts.items() if count > 1}
+        if multi:
+            print(f"    recompiled variants: {len(multi)}")
+    specializer = kernel.specializer
+    if specializer is not None:
+        s = specializer.stats
+        print(f"  specializer: {s.compiled} compiled, {s.deopts} deopts,"
+              f" {s.declined} declined")
+    tracer = kernel.tracer
+    if tracer is not None:
+        t = tracer.stats
+        print(f"  tracer: {t.compiled} compiled, {t.declined} declined,"
+              f" {t.cache_hits} cache hits, {t.store_hits} store hits,"
+              f" {t.store_misses} store misses")
+    counts = kernel.stats.trap_counts
+    if counts:
+        tally = ", ".join(f"{kind.name}={count}"
+                          for kind, count in sorted(
+                              counts.items(), key=lambda kv: kv[0].name))
+        print(f"  traps: {tally}")
 
 
 def _cmd_rewrite(args: argparse.Namespace) -> int:
@@ -233,6 +266,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run programs under SenSmart")
     run.add_argument("files", nargs="+")
+    run.add_argument("--stats", action="store_true",
+                     help="report block-cache / specializer / tracer "
+                          "statistics after the run")
     run.add_argument("--max-instructions", type=int,
                      default=100_000_000)
     run.set_defaults(func=_cmd_run)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..avr import ioports
 
@@ -70,6 +71,22 @@ class KernelConfig:
     #: Off routes every trap through the generic dispatch/translate
     #: chain; results are bit-identical.
     specialize: bool = True
+
+    #: Chain specialized superblocks across direct branches into
+    #: multi-block traces (see repro.avr.trace); requires ``fuse``.
+    #: Off stops at the per-block tiers; results are bit-identical.
+    trace: bool = True
+
+    #: Maximum fused instructions per superblock (and per trace node).
+    #: Larger blocks amortize more dispatch overhead per straight-line
+    #: run at the cost of compile time; 48 covers every hot loop in the
+    #: benchmark suite.
+    max_block_members: int = 48
+
+    #: Directory for the persistent compiled-trace store; None disables
+    #: persistence (the ``SENSMART_TRACE_STORE`` environment variable is
+    #: the fallback when unset).
+    trace_store: Optional[str] = None
 
     #: Run the rewriter-soundness linter (``sensmart lint``) over the
     #: image inside ``link_image`` when building a node, so every run is

@@ -73,7 +73,8 @@ class SenSmartKernel:
         flash = Flash()
         image.burn(flash)
         self.cpu = AvrCpu(flash, clock_hz=self.config.clock_hz,
-                          fuse=self.config.fuse, block_cache=block_cache)
+                          fuse=self.config.fuse, block_cache=block_cache,
+                          max_block=self.config.max_block_members)
         for device in devices:
             self.cpu.attach_device(device)
 
@@ -94,6 +95,17 @@ class SenSmartKernel:
                                  self.handlers.dispatch,
                                  thunk_factory=thunk_factory,
                                  inline_factory=inline_factory)
+        self.tracer = None
+        if self.config.trace and self.config.fuse:
+            import os
+
+            from ..avr.trace import TraceCompiler, TraceStore
+            store_path = self.config.trace_store or \
+                os.environ.get("SENSMART_TRACE_STORE")
+            store = TraceStore(store_path) if store_path else None
+            self.tracer = TraceCompiler(self.cpu, self.specializer,
+                                        store=store)
+            self.cpu.set_tracer(self.tracer)
 
         self.tasks: Dict[int, Task] = {}
         self.current: Optional[Task] = None

@@ -64,16 +64,19 @@ class SensorNode:
                      adc_seed: int = 0xACE1,
                      fuse: Optional[bool] = None,
                      specialize: Optional[bool] = None,
+                     trace: Optional[bool] = None,
+                     max_block_members: Optional[int] = None,
                      lint: Optional[bool] = None,
                      block_cache=None) -> "SensorNode":
         """Compile, rewrite and link *sources*, then boot a node.
 
-        *fuse* and *specialize* override the config's superblock-fusion
-        and trap-specialization knobs (execution stays bit-identical
-        either way; both on is fastest).  *lint* overrides the config's
-        ``lint_on_link`` self-check.  *block_cache* forwards to the
-        kernel's CPU (None = process-wide superblock sharing, False =
-        private compilation).
+        *fuse*, *specialize* and *trace* override the config's
+        superblock-fusion, trap-specialization and trace-chaining knobs
+        (execution stays bit-identical either way; all on is fastest);
+        *max_block_members* overrides the fusion length cap.  *lint*
+        overrides the config's ``lint_on_link`` self-check.
+        *block_cache* forwards to the kernel's CPU (None = process-wide
+        superblock sharing, False = private compilation).
         """
         config = config if config is not None else KernelConfig()
         overrides = {}
@@ -81,6 +84,10 @@ class SensorNode:
             overrides["fuse"] = fuse
         if specialize is not None:
             overrides["specialize"] = specialize
+        if trace is not None:
+            overrides["trace"] = trace
+        if max_block_members is not None:
+            overrides["max_block_members"] = max_block_members
         if lint is not None:
             overrides["lint_on_link"] = lint
         if overrides:

@@ -68,6 +68,32 @@ class SpecializerStats:
     declined: int = 0   # sites left on the generic path
 
 
+@dataclass
+class TraceFacts:
+    """Everything the trace compiler needs to chain one patched site.
+
+    A read-only snapshot of the specialization inputs for *site* at
+    compile time: the trampoline kind and params, the owning task, its
+    region (None for region-free kinds) and region epoch, the kernel
+    config, the namespace bindings the emitted code expects, and the
+    same ``spec_key`` :meth:`TrapSpecializer.inline_source` would bake
+    — so a trace's cache key composes per-site keys identically to the
+    superblock cache's.
+    """
+
+    site: int
+    target: int
+    is_call: bool
+    kind: "PatchKind"
+    params: Tuple
+    task: object
+    region: object
+    epoch: int
+    config: object
+    bindings: Dict[str, object]
+    spec_key: Tuple
+
+
 class TrapSpecializer:
     """Compiles per-site trap code against a task's region constants."""
 
@@ -189,6 +215,59 @@ class TrapSpecializer:
                  "else:"]
         lines.extend("    " + line for line in body)
         return lines, bindings, spec_key, False
+
+    def trace_facts(self, cpu, site: int, target: int,
+                    is_call: bool) -> Optional[TraceFacts]:
+        """Specialization facts for chaining *site* into a trace.
+
+        Mirrors :meth:`inline_source`'s decline conditions exactly —
+        a site this returns ``None`` for must end the trace, so every
+        chained trap is one the specializer could also have compiled
+        stand-alone.  Emission itself lives in
+        :mod:`repro.avr.trace`; this keeps one owner of the facts
+        (kind, params, owner task, region geometry, epoch, spec key).
+        """
+        kernel = self.kernel
+        if site < 0:
+            return None
+        trampoline = kernel.trampolines.get(target)
+        if trampoline is None:
+            return None
+        if trampoline.kind not in self._gen:
+            return None
+        task = self._owner(site)
+        if task is None:
+            return None
+        needs_region = trampoline.kind is not PatchKind.BRANCH_BACKWARD
+        region = kernel.regions.maybe_by_task(task.task_id)
+        if needs_region and region is None:
+            return None
+        config = kernel.config
+        if needs_region:
+            spec_key = (trampoline.kind.name, trampoline.params,
+                        task.region_epoch, region.p_l, region.p_h,
+                        region.p_u, config.ram_start, config.memory_size,
+                        config.stack_margin)
+        else:
+            region = None
+            spec_key = (trampoline.kind.name, trampoline.params,
+                        config.branch_trap_period)
+        bindings = {
+            "k_kernel": kernel,
+            "k_task": task,
+            "k_counts": kernel.stats.trap_counts,
+            "k_stats": kernel.stats,
+            "k_spec": self.stats,
+            "k_slow": kernel.handlers.dispatch,
+            "k_sched": kernel.scheduler_tick,
+            "k_ex": cpu._exec,
+            "k_bl": cpu._blocks,
+        }
+        return TraceFacts(site=site, target=target, is_call=is_call,
+                          kind=trampoline.kind, params=trampoline.params,
+                          task=task, region=region,
+                          epoch=task.region_epoch, config=config,
+                          bindings=bindings, spec_key=spec_key)
 
     # -- helpers -----------------------------------------------------------------
 

@@ -1,0 +1,260 @@
+"""Trace JIT: chained superblocks must be an invisible speed knob.
+
+Four angles:
+
+* differential bit-identity — the paper workloads retire identical
+  architectural and kernel state traced, specialized, fused, and
+  stepwise;
+* deoptimization — a forced mid-run relocation bumps the region epoch,
+  the stale traces' hoisted guards fire, and the run (resumed from an
+  arbitrary mid-loop stop) stays bit-identical;
+* the persistent store — a warm process compiles nothing and
+  reproduces the cold digest byte for byte; corrupt or mismatched
+  store files fall back to a clean recompile;
+* the SREG-liveness masks the flag-elision pass is built on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.static import ALL_FLAGS, sreg_effects
+from repro.experiments.extra_static import _workload_sources
+from repro.faults import FaultInjector, FaultPlan
+from repro.kernel import KernelConfig, SensorNode
+
+# SPIN shape (inner self-loop strip + outer chain) plus stack traffic,
+# so traces with both branch traps and region-guarded sites compile.
+_SPIN_STACK = """
+main:
+    ldi r28, 24
+outer:
+    push r16
+    pop r16
+    ldi r26, 0
+    ldi r27, 0
+inner:
+    adiw r26, 1
+    brne inner
+    dec r28
+    brne outer
+    break
+"""
+
+
+def _digest(node):
+    kernel, cpu = node.kernel, node.cpu
+    return (bytes(cpu.r), cpu.pc, cpu.sp, cpu.sreg, cpu.cycles,
+            cpu.instret, bytes(cpu.mem.data),
+            dict(kernel.stats.trap_counts), kernel.stats.kernel_cycles,
+            kernel.stats.context_switches,
+            kernel.stats.scheduler_checks,
+            tuple(kernel.stats.terminations))
+
+
+def _boot(sources, **overrides):
+    return SensorNode.from_sources(sources, block_cache=False,
+                                   **overrides)
+
+
+# -- differential bit-identity --------------------------------------------------
+
+@pytest.mark.parametrize("workload", ["table1", "table2", "kernelbench"])
+def test_traced_matches_every_other_tier(workload):
+    sources = _workload_sources(workload, quick=True)
+
+    def run(**overrides):
+        node = _boot(sources, **overrides)
+        node.run(max_instructions=50_000_000)
+        assert node.finished
+        return node
+
+    traced = run(trace=True)
+    if workload != "table1":  # table1-quick's loops are single-block
+        assert traced.kernel.tracer.stats.compiled > 0
+    reference = _digest(traced)
+    assert reference == _digest(run(trace=False))
+    assert reference == _digest(run(trace=False, specialize=False))
+    assert reference == _digest(run(trace=False, specialize=False,
+                                    fuse=False))
+
+
+def test_fusion_cap_override_reaches_cpu_and_preserves_state():
+    wide = _boot([("spin", _SPIN_STACK)])
+    assert wide.cpu._max_block == KernelConfig().max_block_members
+    narrow = _boot([("spin", _SPIN_STACK)], max_block_members=3)
+    assert narrow.cpu._max_block == 3
+    for node in (wide, narrow):
+        node.run(max_instructions=5_000_000)
+        assert node.finished
+    assert _digest(wide) == _digest(narrow)
+
+
+# -- deoptimization and mid-trace re-entry --------------------------------------
+
+def test_relocation_deopts_stale_traces_bit_identically():
+    """Growing a stack mid-run bumps the region epoch: every trace
+    compiled before the move must deopt (guard failure, counted), the
+    interrupted loop must re-enter correctly from its mid-trace stop
+    point, and the final state must match the untraced run."""
+
+    def run(trace):
+        # Two tasks so growing one stack has a donor to take from.
+        node = _boot([("spin", _SPIN_STACK), ("spin2", _SPIN_STACK)],
+                     trace=trace)
+        # Stop mid-loop (inside the strip-mined inner spin), with
+        # every hot trace already compiled and guarded on epoch 0.
+        node.run(max_instructions=600_000)
+        assert not node.finished
+        result = node.kernel.relocator.grow_stack(0, 16)
+        assert result.moved
+        assert node.kernel.tasks[0].region_epoch > 0
+        node.run(max_instructions=50_000_000)
+        assert node.finished
+        return node
+
+    traced = run(trace=True)
+    assert traced.kernel.specializer.stats.deopts > 0
+    assert _digest(traced) == _digest(run(trace=False))
+
+
+def test_null_fault_plan_with_traces_leaves_no_trace():
+    sources = _workload_sources("kernelbench", quick=True)
+
+    def run(attach):
+        node = _boot(sources, trace=True)
+        if attach:
+            plan = FaultPlan(seed=0xDEAD, horizon_cycles=10_000_000)
+            FaultInjector(plan).attach("n", node)
+        node.run(max_instructions=50_000_000)
+        assert node.finished
+        return node
+
+    assert _digest(run(attach=False)) == _digest(run(attach=True))
+
+
+# -- the persistent store -------------------------------------------------------
+
+_STORE_DRIVER = """
+import json, sys
+from repro.kernel import SensorNode
+
+source = '''{source}'''
+node = SensorNode.from_sources([("spin", source)], block_cache=False)
+node.run(max_instructions=5_000_000)
+assert node.finished
+stats = node.kernel.tracer.stats
+print(json.dumps({{
+    "compiled": stats.compiled,
+    "store_hits": stats.store_hits,
+    "instret": node.cpu.instret,
+    "cycles": node.cpu.cycles,
+    "mem": node.cpu.mem.data.hex(),
+}}))
+"""
+
+
+def _store_run(tmp_path, store_dir):
+    script = _STORE_DRIVER.format(source=_SPIN_STACK)
+    env = dict(os.environ, SENSMART_TRACE_STORE=str(store_dir),
+               PYTHONPATH=str(Path(__file__).resolve().parent.parent
+                              / "src"))
+    proc = subprocess.run([sys.executable, "-c", script], env=env,
+                          capture_output=True, text=True, check=True)
+    return json.loads(proc.stdout)
+
+
+def test_store_round_trip_warm_process_compiles_nothing(tmp_path):
+    store = tmp_path / "traces"
+    cold = _store_run(tmp_path, store)
+    assert cold["compiled"] > 0
+    files = list(store.glob("*.json"))
+    assert files, "cold run persisted no artifacts"
+    warm = _store_run(tmp_path, store)
+    assert warm["compiled"] == 0
+    assert warm["store_hits"] > 0
+    assert warm == dict(cold, compiled=0,
+                        store_hits=warm["store_hits"])
+
+
+def test_store_corruption_falls_back_to_clean_recompile(tmp_path):
+    store = tmp_path / "traces"
+    cold = _store_run(tmp_path, store)
+    (file,) = store.glob("*.json")
+
+    # Outright garbage: unreadable JSON.
+    pristine = file.read_text()
+    file.write_text("{ not json")
+    garbage = _store_run(tmp_path, store)
+    assert garbage["compiled"] == cold["compiled"]
+    assert garbage["mem"] == cold["mem"]
+
+    # Valid JSON, wrong version: versioned artifacts are ignored.
+    payload = json.loads(pristine)
+    payload["version"] = 999
+    file.write_text(json.dumps(payload))
+    stale = _store_run(tmp_path, store)
+    assert stale["compiled"] == cold["compiled"]
+    assert stale["mem"] == cold["mem"]
+
+    # Truncated artifact source: per-entry fallback, state unharmed.
+    payload = json.loads(pristine)
+    for entries in payload["traces"].values():
+        for artifact in entries.values():
+            artifact["source"] = "def _blk(:\n"
+    file.write_text(json.dumps(payload))
+    broken = _store_run(tmp_path, store)
+    assert broken["compiled"] == cold["compiled"]
+    assert broken["mem"] == cold["mem"]
+
+
+# -- SREG liveness masks --------------------------------------------------------
+
+def test_sreg_effects_masks():
+    C, Z, N, V, S, H, T, I = (1 << b for b in range(8))
+    arith = C | Z | N | V | S | H
+    assert sreg_effects("ADD") == (0, arith)
+    assert sreg_effects("ADC") == (C, arith)
+    assert sreg_effects("SBC") == (C | Z, arith)
+    assert sreg_effects("BRBS", (1, -3)) == (Z, 0)
+    assert sreg_effects("BSET", (7,)) == (0, I)
+    assert sreg_effects("OUT", (0x3F, 16)) == (0, ALL_FLAGS)
+    assert sreg_effects("IN", (16, 0x3F)) == (ALL_FLAGS, 0)
+    assert sreg_effects("RET") == (ALL_FLAGS, 0)
+    assert sreg_effects("MYSTERY_OP") == (ALL_FLAGS, 0)  # conservative
+    assert sreg_effects("LDI") == (0, 0)
+
+
+def test_strip_elision_keeps_flag_tables_out_of_the_hot_loop():
+    """The SPIN inner loop's ADIW flags feed only its own BRNE: the
+    strip-mined body must test the result predicate directly, with the
+    flag materialization hoisted to the strip exits."""
+    import repro.avr.trace as trace_mod
+
+    captured = {}
+    original = trace_mod._Emitter.source
+
+    def capture(self):
+        text = original(self)
+        captured[self.head_addr] = text
+        return text
+
+    trace_mod._Emitter.source = capture
+    try:
+        node = _boot([("spin", _SPIN_STACK)])
+        node.run(max_instructions=300_000)
+    finally:
+        trace_mod._Emitter.source = original
+    strip_sources = [text for text in captured.values()
+                     if "for j in range(1, im + 1):" in text]
+    assert strip_sources, "inner spin did not strip-mine"
+    for text in strip_sources:
+        loop = text.split("for j in range(1, im + 1):", 1)[1]
+        loop = loop.split("else:", 1)[0]
+        assert "sr =" not in loop  # flags elided from the hot body
