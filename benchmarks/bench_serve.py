@@ -1,0 +1,169 @@
+"""Load generator for ``sensmart serve``.
+
+Spins an in-process server (background thread, temp on-disk artifact
+store), then drives it the way a base station fleet would: a few
+distinct workload bundles, each submitted many times.  The first
+submission of a bundle is **cold** — it pays the full assemble →
+rewrite → lint → link → simulate pipeline; every repeat is **warm** and
+must be answered from the artifact store.
+
+Measured into ``BENCH_serve.json``:
+
+* ``cold_latency_ms`` / ``warm_latency_ms`` — mean per-request wall
+  time in each phase, and the resulting speedup.
+* ``requests_per_sec`` — warm-phase throughput over one connection.
+* ``warm_hit_rate`` — store hits / lookups *during the warm phase
+  only* (the cold phase's misses are the point, not noise).  The serve
+  contract requires ≥ 0.99: a warm submission performs exactly one
+  lookup (the verdict key) and it must hit.
+
+``--quick`` runs a CI-sized version with the same assertions: warm hit
+rate, verdict schema, zero build work on the warm path, and
+bit-identical trace digests between cold and warm verdicts.
+"""
+
+import json
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from bench_trapspec import TRAP_LOOP, TRAP_MIX
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / \
+    "BENCH_serve.json"
+
+SPIN = """
+start:
+    ldi r24, 200
+outer:
+    ldi r25, 50
+inner:
+    dec r25
+    brne inner
+    dec r24
+    brne outer
+    break
+"""
+
+BLINK = """
+start:
+    ldi r24, 8
+again:
+    ldi r26, 0x01
+    out 0x18, r26
+    ldi r26, 0x00
+    out 0x18, r26
+    dec r24
+    brne again
+    break
+"""
+
+#: Distinct submission bundles — single-task, trap-heavy, multitask.
+WORKLOADS = {
+    "spin": [("spin", SPIN)],
+    "trap_loop": [("trap_loop", TRAP_LOOP)],
+    "multitask": [("trap_mix", TRAP_MIX), ("blink", BLINK)],
+}
+
+MAX_INSTRUCTIONS = 2_000_000
+
+
+def _programs(sources):
+    return [{"name": name, "source": source}
+            for name, source in sources]
+
+
+def run_bench(repeats: int = 25) -> dict:
+    from repro.pipeline.report import VERDICT_SCHEMA
+    from repro.pipeline.stages import COUNTERS
+    from repro.serve import ServeClient, serve_in_thread
+
+    options = {"max_instructions": MAX_INSTRUCTIONS}
+    cold_times = []
+    warm_times = []
+    cold_digests = {}
+
+    with tempfile.TemporaryDirectory() as store_dir:
+        with serve_in_thread(store_path=store_dir) as server:
+            with ServeClient(port=server.port) as client:
+                # -- cold phase: one build per distinct bundle
+                for name, sources in WORKLOADS.items():
+                    started = time.perf_counter()
+                    response = client.submit(_programs(sources),
+                                             options=options)
+                    cold_times.append(time.perf_counter() - started)
+                    assert response["ok"], response
+                    verdict = response["verdict"]
+                    assert verdict["schema"] == VERDICT_SCHEMA
+                    assert verdict["cached"] is False
+                    assert verdict["simulation"]["finished"], name
+                    cold_digests[name] = \
+                        verdict["simulation"]["trace_digest"]
+
+                # -- warm phase: every submission is a repeat
+                store = server.pipeline.store.stats
+                hits0, misses0 = store.hits, store.misses
+                counters0 = COUNTERS.snapshot()
+                warm_started = time.perf_counter()
+                for _round in range(repeats):
+                    for name, sources in WORKLOADS.items():
+                        started = time.perf_counter()
+                        response = client.submit(_programs(sources),
+                                                 options=options)
+                        warm_times.append(
+                            time.perf_counter() - started)
+                        verdict = response["verdict"]
+                        assert verdict["cached"] is True, name
+                        assert verdict["simulation"]["trace_digest"] \
+                            == cold_digests[name], name
+                warm_elapsed = time.perf_counter() - warm_started
+
+                work = COUNTERS.delta(counters0)
+                assert not work, \
+                    f"warm phase did build work: {work}"
+                hits = store.hits - hits0
+                misses = store.misses - misses0
+                hit_rate = hits / (hits + misses) \
+                    if hits + misses else 0.0
+                assert hit_rate >= 0.99, \
+                    f"warm hit rate {hit_rate:.4f} < 0.99"
+                client.shutdown()
+
+    cold_ms = statistics.mean(cold_times) * 1e3
+    warm_ms = statistics.mean(warm_times) * 1e3
+    return {
+        "workloads": len(WORKLOADS),
+        "repeats": repeats,
+        "cold_latency_ms": round(cold_ms, 3),
+        "warm_latency_ms": round(warm_ms, 3),
+        "cold_over_warm": round(cold_ms / warm_ms, 1),
+        "requests_per_sec": round(len(warm_times) / warm_elapsed),
+        "warm_hit_rate": round(hit_rate, 4),
+    }
+
+
+def test_serve_bench_quick():
+    """Pytest entry: CI-sized load with all contract assertions."""
+    results = run_bench(repeats=3)
+    assert results["warm_hit_rate"] >= 0.99
+
+
+def main(argv) -> int:
+    quick = "--quick" in argv
+    results = run_bench(repeats=3 if quick else 25)
+    print(json.dumps(results, indent=2, sort_keys=True))
+    if not quick:
+        data = {}
+        if RESULTS_PATH.exists():
+            data = json.loads(RESULTS_PATH.read_text())
+        data.update(results)
+        RESULTS_PATH.write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {RESULTS_PATH}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

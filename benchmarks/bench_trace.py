@@ -148,9 +148,10 @@ def _phase(which: str) -> None:
         python benchmarks/bench_trace.py --phase warm  > warm.out
         cmp cold.out warm.out
     """
-    import hashlib
     import os
     import sys
+
+    from repro.fingerprint import blake2b_hex
     assert os.environ.get("SENSMART_TRACE_STORE"), \
         "set SENSMART_TRACE_STORE to the store directory first"
     for workload in WORKLOADS:
@@ -161,8 +162,8 @@ def _phase(which: str) -> None:
                 f"warm run compiled {stats.compiled} traces " \
                 f"({workload}): store did not serve them"
             assert stats.store_hits > 0
-        digest = hashlib.blake2b(repr(_digest(node)).encode(),
-                                 digest_size=8).hexdigest()
+        digest = blake2b_hex(repr(_digest(node)).encode(),
+                             digest_size=8)
         print(f"{workload}: digest {digest}")
     # stdout carries only the digests, so ``cmp cold.out warm.out``
     # proves byte-identical results across the two processes.

@@ -51,10 +51,10 @@ class Flash:
         """
         if self._fingerprint is None:
             import array
-            import hashlib
+
+            from ..fingerprint import blake2b_hex
             payload = array.array("H", self._words).tobytes()
-            self._fingerprint = hashlib.blake2b(
-                payload, digest_size=16).hexdigest()
+            self._fingerprint = blake2b_hex(payload)
         return self._fingerprint
 
     def word(self, word_address: int) -> int:

@@ -51,10 +51,10 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass
-from hashlib import blake2b
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis.static.liveness import sreg_effects
+from ..fingerprint import content_key
 from ..errors import InvalidInstruction, MemoryFault
 from .cpu import (_ASR_TABLE, _DEC_TABLE, _INC_TABLE, _LOGIC_TABLE,
                   _LSR_TABLE, _NEG_TABLE, _ROR_TABLES, _CachedBlock,
@@ -177,6 +177,21 @@ class _Node:
         self.kind_index = None   # index into the per-kind count locals
 
 
+#: Default cap on files a :class:`TraceStore` directory may hold; the
+#: ``SENSMART_TRACE_STORE_MAX`` environment variable overrides it.
+_DEFAULT_STORE_MAX_FILES = 256
+
+
+@dataclass
+class TraceStoreStats:
+    """On-disk store traffic, shown by ``sensmart run --stats``."""
+
+    writes: int = 0     # files written (one per image, rewritten per put)
+    evictions: int = 0  # files removed to enforce the size bound
+    corrupt: int = 0    # files present but unusable (bad JSON, version
+                        # or fingerprint mismatch) — served as misses
+
+
 class TraceStore:
     """Persistent compiled-trace artifacts, one JSON file per image.
 
@@ -186,16 +201,28 @@ class TraceStore:
     Python versions and a stale or corrupt file can always be ignored.
     Writes are atomic (temp file + ``os.replace``) and best-effort: an
     unwritable store degrades to a per-process compile, never an error.
+
+    The directory is bounded: at most *max_files* image files live in
+    it, evicted LRU-ish by modification time (every load of a file
+    refreshes its mtime, so hot images survive and the fleet's
+    long-dead images age out).
     """
 
-    def __init__(self, path: str):
+    def __init__(self, path: str, max_files: Optional[int] = None):
         self.path = path
+        if max_files is None:
+            try:
+                max_files = int(os.environ.get(
+                    "SENSMART_TRACE_STORE_MAX", _DEFAULT_STORE_MAX_FILES))
+            except ValueError:
+                max_files = _DEFAULT_STORE_MAX_FILES
+        self.max_files = max_files
+        self.stats = TraceStoreStats()
         self._cache: Dict[str, dict] = {}  # filename -> traces dict
 
     def _file_for(self, base) -> str:
         fingerprint, mem_size, trap_ranges = base
-        tag = blake2b(repr(trap_ranges).encode(),
-                      digest_size=6).hexdigest()
+        tag = content_key(trap_ranges, digest_size=6)
         return os.path.join(self.path,
                             f"{fingerprint[:24]}_{mem_size}_{tag}.json")
 
@@ -208,20 +235,28 @@ class TraceStore:
         if traces is None:
             traces = self._read(filename, base)
             self._cache[filename] = traces
+            try:
+                os.utime(filename)  # LRU touch: this image is in use
+            except OSError:
+                pass
         return traces
 
     def _read(self, filename: str, base) -> dict:
         try:
             with open(filename, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
-        except (OSError, ValueError):
+        except OSError:
             return {}
-        if not isinstance(payload, dict):
+        except ValueError:
+            self.stats.corrupt += 1
             return {}
-        if payload.get("version") != STORE_VERSION:
+        if not isinstance(payload, dict) \
+                or payload.get("version") != STORE_VERSION \
+                or payload.get("fingerprint") != base[0]:
+            # The filename truncates the fingerprint, so it is verified
+            # here; a mismatch of any part means the file is unusable.
+            self.stats.corrupt += 1
             return {}
-        if payload.get("fingerprint") != base[0]:
-            return {}  # filename truncates the fingerprint: verify it
         traces = payload.get("traces")
         return traces if isinstance(traces, dict) else {}
 
@@ -237,8 +272,27 @@ class TraceStore:
             with open(tmp, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle)
             os.replace(tmp, filename)
+            self.stats.writes += 1
+            self._evict(keep=filename)
         except OSError:
             pass  # best-effort: a read-only store still serves loads
+
+    def _evict(self, keep: str) -> None:
+        """Drop the oldest files once the directory exceeds the bound
+        (never the file just written)."""
+        try:
+            entries = [os.path.join(self.path, name)
+                       for name in os.listdir(self.path)
+                       if name.endswith(".json")]
+            if len(entries) <= self.max_files:
+                return
+            entries.sort(key=lambda p: (p != keep, -os.path.getmtime(p)))
+            for victim in entries[self.max_files:]:
+                os.remove(victim)
+                self._cache.pop(victim, None)
+                self.stats.evictions += 1
+        except OSError:
+            pass
 
 
 class TraceCompiler:

@@ -8,11 +8,14 @@ Subcommands::
     sensmart rewrite FILE              # show a naturalized listing
     sensmart asm FILE                  # assemble + disassemble a file
     sensmart lint [FILE ...]           # soundness-lint + stack bounds
+    sensmart serve                     # content-addressed build service
+    sensmart submit FILE [FILE ...]    # submit programs to a server
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -56,6 +59,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         sources.append((path.stem, _read_program(path)))
     node = SensorNode.from_sources(sources)
     node.run(max_instructions=args.max_instructions)
+    if args.json:
+        from .pipeline.report import RUN_SCHEMA, jit_stats_dict, \
+            run_report_dict
+        report = {"schema": RUN_SCHEMA, "run": run_report_dict(node)}
+        if args.stats:
+            report["jit"] = jit_stats_dict(node)
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if node.finished else 1
     kernel = node.kernel
     print(f"finished: {node.finished}  cycles: {node.cpu.cycles}  "
           f"instructions: {node.cpu.instret}")
@@ -144,18 +155,32 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                        for name in WORKLOAD_NAMES)
 
     failures = 0
+    results = []
     for label, sources in targets:
         image = link_image(sources)
         report = lint_image(image)
-        print(f"--- {label} ---")
-        print(report.render())
         if not report.ok:
             failures += 1
+        if args.json:
+            from .pipeline.report import lint_report_dict, \
+                stack_bounds_dict
+            entry = {"label": label, "lint": lint_report_dict(report)}
+            if args.bounds:
+                entry["stack"] = stack_bounds_dict(image)
+            results.append(entry)
+            continue
+        print(f"--- {label} ---")
+        print(report.render())
         if args.bounds:
             for task in image.tasks:
                 analysis = analyze_program(task.natural.program)
                 print(analysis.render())
         print()
+    if args.json:
+        from .pipeline.report import LINT_SCHEMA
+        print(json.dumps({"schema": LINT_SCHEMA, "ok": not failures,
+                          "targets": results},
+                         indent=2, sort_keys=True))
     return 1 if failures else 0
 
 
@@ -236,6 +261,51 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import run_server
+
+    def announce(server):
+        print(f"sensmart serve listening on "
+              f"{server.host}:{server.port}", flush=True)
+
+    try:
+        run_server(host=args.host, port=args.port,
+                   store_path=args.store, jobs=args.jobs,
+                   announce=announce)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .serve import ServeClient
+    if not args.files and not args.stats and not args.shutdown:
+        print("nothing to do: give program files, --stats or "
+              "--shutdown", file=sys.stderr)
+        return 2
+    code = 0
+    with ServeClient(args.host, args.port,
+                     timeout=args.timeout) as client:
+        if args.files:
+            programs = []
+            for path_text in args.files:
+                path = Path(path_text)
+                programs.append({"name": path.stem,
+                                 "source": _read_program(path)})
+            options = {"max_instructions": args.max_instructions}
+            response = client.submit(programs, options=options,
+                                     ident="cli")
+            print(json.dumps(response, indent=2, sort_keys=True))
+            if not response.get("ok"):
+                code = 1
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2,
+                             sort_keys=True))
+        if args.shutdown:
+            client.shutdown()
+    return code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="sensmart",
@@ -271,6 +341,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "statistics after the run")
     run.add_argument("--max-instructions", type=int,
                      default=100_000_000)
+    run.add_argument("--json", action="store_true",
+                     help="emit the sensmart-run/1 JSON report "
+                          "instead of text")
     run.set_defaults(func=_cmd_run)
 
     rewrite = sub.add_parser("rewrite",
@@ -293,7 +366,40 @@ def build_parser() -> argparse.ArgumentParser:
                       help="also lint every bundled workload image")
     lint.add_argument("--bounds", action="store_true",
                       help="print per-task static stack bounds")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the sensmart-lint/1 JSON report "
+                           "instead of text")
     lint.set_defaults(func=_cmd_lint)
+
+    serve = sub.add_parser(
+        "serve", help="serve the content-addressed build pipeline "
+                      "over NDJSON/TCP")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7737,
+                       help="listen port (0 = ephemeral)")
+    serve.add_argument("--store", metavar="DIR", default=None,
+                       help="on-disk artifact store directory "
+                            "(default: memory only)")
+    serve.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="parallel build workers (N>1 uses fork "
+                            "worker processes where available)")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit programs to a running serve instance")
+    submit.add_argument("files", nargs="*",
+                        help="programs to link into one image and "
+                             "simulate")
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=7737)
+    submit.add_argument("--max-instructions", type=int,
+                        default=20_000_000)
+    submit.add_argument("--timeout", type=float, default=120.0)
+    submit.add_argument("--stats", action="store_true",
+                        help="also fetch server statistics")
+    submit.add_argument("--shutdown", action="store_true",
+                        help="ask the server to stop after replying")
+    submit.set_defaults(func=_cmd_submit)
 
     profile = sub.add_parser(
         "profile", help="flat profile (native) + trap histogram")

@@ -21,9 +21,9 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..errors import OutOfMemory
+from ..pipeline.stages import naturalize_at
 from ..rewriter.rewriter import Rewriter
 from ..rewriter.trampoline import TrampolinePool
-from ..toolchain.compile import compile_source
 from ..toolchain.image import TaskImage
 from . import costs
 from .regions import MemoryRegion
@@ -115,9 +115,11 @@ class DynamicLoader:
     def _install_flash(self, name: str, source: str):
         kernel = self.kernel
         base = self.flash_cursor
-        program = compile_source(source, name=name, origin=base)
         pool = TrampolinePool()
-        natural = self.rewriter.rewrite(program, pool)
+        # Through the pipeline's work functions, so the process-wide
+        # stage counters account for dynamic loads exactly like linked
+        # images (a warm serve path must show zero of either).
+        natural = naturalize_at(name, source, base, pool, self.rewriter)
         trap_lo = base + natural.size_words
         trap_hi = pool.place(trap_lo)
         natural.resolve(pool)

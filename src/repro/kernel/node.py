@@ -21,8 +21,8 @@ from dataclasses import replace
 from typing import Optional, Sequence, Tuple
 
 from ..avr.devices import Adc, Leds, Radio, Timer0
+from ..pipeline.pipeline import build_image
 from ..rewriter.rewriter import Rewriter
-from ..toolchain.linker import link_image
 from .config import KernelConfig
 from .kernel import SenSmartKernel
 
@@ -92,11 +92,27 @@ class SensorNode:
             overrides["lint_on_link"] = lint
         if overrides:
             config = replace(config, **overrides)
-        image = link_image(sources, rewriter=rewriter,
-                           lint=config.lint_on_link)
+        image = build_image(sources, rewriter=rewriter,
+                            lint=config.lint_on_link)
+        node = cls.from_image(image, config=config, adc_seed=adc_seed,
+                              block_cache=block_cache)
+        node._sources = list(sources)
+        return node
+
+    @classmethod
+    def from_image(cls, image, config: Optional[KernelConfig] = None,
+                   adc_seed: int = 0xACE1,
+                   block_cache=None) -> "SensorNode":
+        """Boot a node from an already-linked target image.
+
+        Images are immutable once linked, so one image (e.g. from the
+        build pipeline's artifact store) can boot any number of nodes;
+        a node built this way cannot cold-restart (no sources).
+        """
+        config = config if config is not None else KernelConfig()
         kernel, devices = cls._build_kernel(image, config, adc_seed,
                                             block_cache)
-        return cls(kernel, devices, sources=sources, adc_seed=adc_seed,
+        return cls(kernel, devices, sources=None, adc_seed=adc_seed,
                    block_cache=block_cache)
 
     @staticmethod
@@ -159,7 +175,9 @@ class SensorNode:
                 "node was not built from sources; cannot cold-restart")
         now = self.cpu.cycles
         config = self.kernel.config
-        image = link_image(self._sources, lint=config.lint_on_link)
+        # Through the process-default image cache: a chaos campaign's
+        # Nth reboot of the same image re-links nothing.
+        image = build_image(self._sources, lint=config.lint_on_link)
         kernel, devices = self._build_kernel(image, config,
                                              self._adc_seed,
                                              self._block_cache)

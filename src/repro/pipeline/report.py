@@ -1,0 +1,173 @@
+"""One JSON report schema for the pipeline verdict and the CLI.
+
+``sensmart serve`` verdicts, ``sensmart lint --json`` and
+``sensmart run --stats --json`` are assembled from the same builder
+functions below, so a consumer parses one schema no matter which door
+the data came through.  Everything returned is plain JSON data —
+stable keys, no live objects.
+"""
+
+from __future__ import annotations
+
+from ..fingerprint import content_key
+
+#: Schema tags, versioned independently of the store formats.
+VERDICT_SCHEMA = "sensmart-verdict/1"
+LINT_SCHEMA = "sensmart-lint/1"
+RUN_SCHEMA = "sensmart-run/1"
+SERVE_STATS_SCHEMA = "sensmart-serve-stats/1"
+
+
+def lint_report_dict(report) -> dict:
+    """JSON form of an :class:`~repro.analysis.static.lint.LintReport`."""
+    return {
+        "ok": report.ok,
+        "coverage": round(report.coverage, 6),
+        "sites_total": report.sites_total,
+        "sites_verified": report.sites_verified,
+        "shift_entries": report.shift_entries,
+        "instructions_scanned": report.instructions_scanned,
+        "trampolines": report.trampolines,
+        "findings": [
+            {"check": finding.check, "program": finding.program,
+             "address": finding.address,
+             "kind": finding.kind.value if finding.kind else None,
+             "message": finding.message}
+            for finding in report.findings
+        ],
+    }
+
+
+def stack_bounds_dict(image) -> dict:
+    """Static worst-case stack bounds per task of a linked image."""
+    from ..analysis.static import INFINITE_DEPTH, analyze_program
+    bounds = {}
+    for task in image.tasks:
+        analysis = analyze_program(task.natural.program)
+        bounded = analysis.bound != INFINITE_DEPTH
+        bounds[task.name] = {
+            "bounded": bounded,
+            "bound_bytes": int(analysis.bound) if bounded else None,
+            "description": analysis.describe_bound(),
+        }
+    return bounds
+
+
+def image_fingerprint(image) -> str:
+    """Content key of a linked image: every task's placed words plus
+    the trampoline region geometry."""
+    return content_key(
+        [(task.name, task.natural.base, task.natural.words)
+         for task in image.tasks],
+        list(image.trap_region), image.code_start)
+
+
+def rewrite_report_dict(image) -> dict:
+    """Inflation accounting of a linked image (Figure 4 decomposition)."""
+    tasks = []
+    for task in image.tasks:
+        stats = task.natural.stats
+        tasks.append({
+            "name": task.name,
+            "base": task.natural.base,
+            "entry": task.natural.entry,
+            "heap_bytes": task.heap_size,
+            "native_bytes": stats.native_bytes,
+            "rewritten_bytes": stats.rewritten_bytes,
+            "shift_table_bytes": stats.shift_table_bytes,
+            "trampoline_bytes": stats.trampoline_bytes,
+            "patched_sites": stats.patched_sites,
+            "grouped_sites": stats.grouped_sites,
+            "inflation_ratio": round(stats.inflation_ratio, 6),
+        })
+    return {
+        "tasks": tasks,
+        "trap_region": list(image.trap_region),
+        "trampolines": image.pool.count,
+        "trampoline_requests": image.pool.requests,
+        "image_fingerprint": image_fingerprint(image),
+    }
+
+
+def run_report_dict(node) -> dict:
+    """Execution outcome of one node run (shared by ``sensmart run
+    --json`` and the verdict's ``simulation`` section)."""
+    kernel = node.kernel
+    stats = kernel.stats
+    tasks = {}
+    for task in kernel.tasks.values():
+        tasks[task.name] = {
+            "task_id": task.task_id,
+            "state": task.state.value,
+            "exit_reason": task.exit_reason or None,
+            "cycles_used": task.cycles_used,
+            "kernel_cycles": task.kernel_cycles,
+            "max_stack_used": task.max_stack_used,
+        }
+    return {
+        "finished": node.finished,
+        "cycles": node.cpu.cycles,
+        "instructions": node.cpu.instret,
+        "tasks": tasks,
+        "context_switches": stats.context_switches,
+        "relocations": stats.relocations,
+        "idle_cycles": stats.idle_cycles,
+        "kernel_cycles": stats.kernel_cycles,
+        "scheduler_checks": stats.scheduler_checks,
+        "radio_tx_bytes": len(node.radio.transmitted),
+        "traps": {kind.name: count
+                  for kind, count in sorted(
+                      stats.trap_counts.items(),
+                      key=lambda kv: kv[0].name)},
+        "trace_digest": sim_digest(node),
+    }
+
+
+def jit_stats_dict(node) -> dict:
+    """Block-cache / specializer / tracer / trace-store counters
+    (the JSON twin of the ``sensmart run --stats`` text block)."""
+    kernel = node.kernel
+    out: dict = {}
+    cache = node.cpu._block_cache
+    if cache is not None:
+        out["block_cache"] = {
+            "hits": cache.hits, "misses": cache.misses,
+            "distinct_compiles": len(cache.compile_counts),
+        }
+    specializer = kernel.specializer
+    if specializer is not None:
+        s = specializer.stats
+        out["specializer"] = {"compiled": s.compiled,
+                              "deopts": s.deopts,
+                              "declined": s.declined}
+    tracer = kernel.tracer
+    if tracer is not None:
+        t = tracer.stats
+        out["tracer"] = {"compiled": t.compiled,
+                         "declined": t.declined,
+                         "cache_hits": t.cache_hits,
+                         "store_hits": t.store_hits,
+                         "store_misses": t.store_misses}
+        if tracer.store is not None:
+            st = tracer.store.stats
+            out["trace_store"] = {"writes": st.writes,
+                                  "evictions": st.evictions,
+                                  "corrupt": st.corrupt,
+                                  "max_files": tracer.store.max_files}
+    return out
+
+
+def sim_digest(node) -> str:
+    """Content key of the node's final architectural state.
+
+    The same tuple the differential tests compare, so two execution
+    modes (or a cached and a recomputed verdict) agree exactly when
+    their runs were bit-identical.
+    """
+    kernel = node.kernel
+    return content_key(
+        node.cpu.instret, node.cpu.cycles, node.cpu.sp,
+        bytes(node.cpu.mem.data),
+        {kind.name: count
+         for kind, count in kernel.stats.trap_counts.items()},
+        kernel.stats.kernel_cycles, kernel.stats.scheduler_checks)

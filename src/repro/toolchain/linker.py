@@ -14,13 +14,11 @@ single target image:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from ..errors import LinkError
 from ..rewriter.rewriter import Rewriter
-from ..rewriter.trampoline import TrampolinePool
-from .compile import compile_source
-from .image import KERNEL_CODE_WORDS, TargetImage, TaskImage
+from .image import KERNEL_CODE_WORDS, TargetImage
 
 
 def link_image(sources: Sequence[Tuple[str, str]],
@@ -30,45 +28,26 @@ def link_image(sources: Sequence[Tuple[str, str]],
                lint: bool = False) -> TargetImage:
     """Build a target image from ``(name, assembly_source)`` pairs.
 
+    The actual passes live in :mod:`repro.pipeline.stages` — pass 1
+    (assemble + measure) and passes 2+3 (rewrite at final placement,
+    place trampolines, resolve sites) are the pipeline's assemble and
+    rewrite stages, and routing through them keeps the process-wide
+    build-work counters exact no matter who links.
+
     With ``lint=True`` the rewriter-soundness linter runs over the
     finished image and a finding aborts the link with a
     :class:`LinkError` — no unsound image reaches a node.
     """
+    from ..pipeline import stages
     if not sources:
         raise LinkError("no programs to link")
     rewriter = rewriter if rewriter is not None else Rewriter()
-
-    # Pass 1: sizes (placement-independent).
-    sizes = []
-    for name, source in sources:
-        probe = compile_source(source, name=name, origin=0)
-        sizes.append(rewriter.measure_words(probe))
-
-    # Pass 2: assign bases and rewrite at final placement.
-    pool = TrampolinePool(merge=merge_trampolines)
-    tasks: List[TaskImage] = []
-    cursor = code_start
-    for (name, source), size in zip(sources, sizes):
-        program = compile_source(source, name=name, origin=cursor)
-        natural = rewriter.rewrite(program, pool)
-        if natural.size_words != size:
-            raise LinkError(
-                f"{name}: naturalized size changed between passes "
-                f"({size} -> {natural.size_words} words)")
-        tasks.append(TaskImage(name=name, natural=natural))
-        cursor += size
-
-    # Pass 3: place trampolines and resolve JMP targets.
-    trap_lo = cursor
-    trap_hi = pool.place(trap_lo)
-    for task in tasks:
-        task.natural.resolve(pool)
-    image = TargetImage(tasks=tasks, pool=pool,
-                        trap_region=(trap_lo, trap_hi),
-                        code_start=code_start)
+    sizes, _metas = stages.measure_programs(sources, rewriter)
+    image = stages.link_programs(sources, sizes, rewriter,
+                                 merge_trampolines=merge_trampolines,
+                                 code_start=code_start)
     if lint:
-        from ..analysis.static.lint import lint_image
-        report = lint_image(image)
+        report = stages.lint_linked_image(image)
         if not report.ok:
             raise LinkError(
                 "image failed soundness lint:\n" + report.render())

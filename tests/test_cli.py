@@ -107,3 +107,36 @@ def test_lint_command_workloads(capsys):
                      "errpath"):
         assert f"--- {workload} ---" in out
     assert "violation" not in out
+
+
+def test_run_json_report(blink_file, capsys):
+    import json
+    assert main(["run", blink_file, "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["schema"] == "sensmart-run/1"
+    assert report["run"]["finished"] is True
+    assert "blink" in report["run"]["tasks"]
+    assert "trace_digest" in report["run"]
+    assert "jit" not in report  # jit section needs --stats
+
+
+def test_run_json_stats_report(blink_file, capsys):
+    import json
+    assert main(["run", blink_file, "--json", "--stats"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["schema"] == "sensmart-run/1"
+    assert "block_cache" in report["jit"]
+    assert "tracer" in report["jit"]
+
+
+def test_lint_json_report(blink_file, capsys):
+    import json
+    assert main(["lint", blink_file, "--json", "--bounds"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["schema"] == "sensmart-lint/1"
+    assert report["ok"] is True
+    (target,) = report["targets"]
+    assert target["label"] == "cli"
+    assert target["lint"]["ok"] is True
+    assert target["lint"]["coverage"] == 1.0
+    assert target["stack"]["blink"]["bounded"] is True

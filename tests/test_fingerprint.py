@@ -1,0 +1,91 @@
+"""The unified content-key helper.
+
+Every cache in the system — superblock cache, trace store, artifact
+store, image cache — keys through :mod:`repro.fingerprint`, so these
+digests are load-bearing: a silent change to the encoding invalidates
+(or worse, aliases) every on-disk artifact in the field.  The pins
+below freeze the exact output; changing the encoding must bump
+``KEY_VERSION``, which changes every pinned value on purpose.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fingerprint import (DIGEST_SIZE, KEY_VERSION, blake2b_hex,
+                               content_key)
+
+
+# -- pinned digests --------------------------------------------------------------
+
+def test_blake2b_hex_pinned():
+    assert blake2b_hex(b"") == "cae66941d9efbd404e4d88758ea67670"
+    assert blake2b_hex(b"abc") == "cf4ab791c62b8d2b2109c90275287816"
+    assert blake2b_hex(b"abc", digest_size=8) == "d8bb14d833d59559"
+
+
+def test_content_key_pinned():
+    assert KEY_VERSION == 1
+    assert content_key() == "d52e26540a38d831614368353754c355"
+    assert content_key(1, "a", None, True) == \
+        "bce8982e21487e1cc952f24f233fcb99"
+    assert content_key([1, [2, 3]], {"b": 2, "a": 1}) == \
+        "68a5f47d4fdbfc2160c7343c442f255c"
+    assert content_key(b"xy", 2.5, False) == \
+        "4473d05734e61149315cef6c07dc806d"
+
+
+def test_flash_fingerprint_pinned():
+    """The flash fingerprint keys the cross-CPU superblock cache and
+    the trace store; it must not churn across releases."""
+    from repro.avr.memory import Flash
+    flash = Flash()
+    flash.load(0, [0x940C, 0x0000, 0xE011])
+    assert flash.fingerprint() == \
+        "8be5e0d8b70eefc1d9947bb257f7b45d"
+
+
+# -- collision resistance of the encoding ----------------------------------------
+
+def test_string_split_does_not_alias():
+    assert content_key("ab") != content_key("a", "b")
+    assert content_key(["ab"]) != content_key(["a", "b"])
+    assert content_key("ab", "c") != content_key("a", "bc")
+
+
+def test_container_shape_is_part_of_the_key():
+    # lists and tuples encode identically on purpose (JSON round trips
+    # turn tuples into lists); sets and dicts do not alias them
+    assert content_key([1, 2]) == content_key((1, 2))
+    assert content_key([1, 2]) != content_key({1, 2})
+    assert content_key([]) != content_key({})
+    assert content_key([["a"], []]) != content_key([[], ["a"]])
+
+
+def test_scalar_types_do_not_alias():
+    assert content_key(1) != content_key("1")
+    assert content_key(1) != content_key(True)
+    assert content_key(0) != content_key(False)
+    assert content_key(0) != content_key(None)
+    assert content_key(1) != content_key(1.0)
+    assert content_key("x") != content_key(b"x")
+
+
+def test_dict_ordering_is_canonical():
+    assert content_key({"a": 1, "b": 2}) == \
+        content_key({"b": 2, "a": 1})
+    assert content_key({"a": 1, "b": 2}) != \
+        content_key({"a": 2, "b": 1})
+
+
+def test_unsupported_types_raise():
+    with pytest.raises(TypeError):
+        content_key(object())
+    with pytest.raises(TypeError):
+        content_key([1, {1: object()}])
+
+
+def test_digest_size_parameter():
+    assert len(content_key("x")) == DIGEST_SIZE * 2
+    assert len(content_key("x", digest_size=6)) == 12
+    assert content_key("x", digest_size=6) != content_key("x")[:12]

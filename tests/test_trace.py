@@ -20,6 +20,7 @@ import json
 import os
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 import pytest
@@ -258,3 +259,74 @@ def test_strip_elision_keeps_flag_tables_out_of_the_hot_loop():
         loop = text.split("for j in range(1, im + 1):", 1)[1]
         loop = loop.split("else:", 1)[0]
         assert "sr =" not in loop  # flags elided from the hot body
+
+
+# -- store bounding -------------------------------------------------------------
+
+def _fake_base(tag: int):
+    # the filename keeps only a fingerprint prefix, so vary the front
+    return (f"{tag:02x}" * 16, 4096, ((100, 120),))
+
+
+def test_store_is_bounded_with_lru_eviction(tmp_path):
+    from repro.avr.trace import TraceStore
+    store = TraceStore(str(tmp_path), max_files=3)
+    for tag in range(5):
+        store.put(_fake_base(tag), 0x100, "key", {"source": "pass\n"})
+        time.sleep(0.01)  # distinct mtimes order the eviction
+    files = list(tmp_path.glob("*.json"))
+    assert len(files) == 3
+    assert store.stats.writes == 5
+    assert store.stats.evictions == 2
+    # the survivors are the most recently written images
+    assert store.load(_fake_base(4))
+    assert store.load(_fake_base(0)) == {}
+
+
+def test_store_load_refreshes_mtime_lru(tmp_path):
+    from repro.avr.trace import TraceStore
+    store = TraceStore(str(tmp_path), max_files=2)
+    store.put(_fake_base(0), 0x100, "key", {"source": "pass\n"})
+    time.sleep(0.01)
+    store.put(_fake_base(1), 0x100, "key", {"source": "pass\n"})
+    time.sleep(0.01)
+    # touch image 0 from a fresh store (no warm cache), then add a
+    # third image: image 1 is now the oldest and must be the victim
+    reader = TraceStore(str(tmp_path), max_files=2)
+    assert reader.load(_fake_base(0))
+    time.sleep(0.01)
+    reader.put(_fake_base(2), 0x100, "key", {"source": "pass\n"})
+    assert reader.load(_fake_base(0))
+    assert reader.load(_fake_base(2))
+    fresh = TraceStore(str(tmp_path), max_files=2)
+    assert fresh.load(_fake_base(1)) == {}
+
+
+def test_store_counts_corrupt_files(tmp_path):
+    from repro.avr.trace import TraceStore
+    store = TraceStore(str(tmp_path), max_files=8)
+    store.put(_fake_base(0), 0x100, "key", {"source": "pass\n"})
+    (file,) = tmp_path.glob("*.json")
+    file.write_text("{ not json")
+    fresh = TraceStore(str(tmp_path), max_files=8)
+    assert fresh.load(_fake_base(0)) == {}
+    assert fresh.stats.corrupt == 1
+    # fingerprint mismatch with a valid file also counts
+    file.write_text(json.dumps({"version": 1,
+                                "fingerprint": "f" * 32,
+                                "traces": {}}))
+    fresh2 = TraceStore(str(tmp_path), max_files=8)
+    assert fresh2.load(_fake_base(0)) == {}
+    assert fresh2.stats.corrupt == 1
+
+
+def test_store_max_files_env_override(tmp_path, monkeypatch):
+    from repro.avr import trace as trace_mod
+    monkeypatch.setenv("SENSMART_TRACE_STORE_MAX", "7")
+    assert trace_mod.TraceStore(str(tmp_path)).max_files == 7
+    monkeypatch.setenv("SENSMART_TRACE_STORE_MAX", "junk")
+    assert trace_mod.TraceStore(str(tmp_path)).max_files == \
+        trace_mod._DEFAULT_STORE_MAX_FILES
+    monkeypatch.delenv("SENSMART_TRACE_STORE_MAX")
+    assert trace_mod.TraceStore(str(tmp_path)).max_files == \
+        trace_mod._DEFAULT_STORE_MAX_FILES
