@@ -6,10 +6,19 @@ skip shadows, call edges, and a conservative resolution of indirect
 control flow.  ``IJMP``/``ICALL`` targets are resolved from
 
 1. a block-local ``LDI r30/r31`` constant pair reaching the site, else
-2. the program-wide *address pool*: every ``LDI`` lo8/hi8 pair loading
+2. the dataflow engine (:mod:`.dataflow`): the interprocedural Z fact
+   at the site, when it narrows to a small set of code addresses, else
+3. the program-wide *address pool*: every ``LDI`` lo8/hi8 pair loading
    the Z registers anywhere, plus every ``.dw`` data word whose value is
    an instruction address (function-pointer tables), else
-3. every label in the symbol list (fully conservative fallback).
+4. every label in the symbol list (fully conservative fallback).
+
+The pool / label fallbacks additionally drop *data-only* labels —
+``.dw`` table entries never named by direct control flow — at sites
+that cannot be reading a table (no ``LPM`` in their block): those
+entries are already consumed as function-pointer tables by the
+dispatch sites proper, and keeping them everywhere only inflates the
+candidate sets (and with them the worst-case stack bounds).
 
 The same builder works on a naturalized program's item list: patched
 sites are 32-bit ``JMP``\\ s whose trampoline targets fall outside the
@@ -161,9 +170,43 @@ def _local_z_values(block: BasicBlock) -> Dict[int, Optional[int]]:
 
 
 def build_cfg(items: Sequence, entry: int,
-              labels: Optional[Dict[str, int]] = None) -> ControlFlowGraph:
-    """Build the CFG for an item list (compiled or naturalized)."""
+              labels: Optional[Dict[str, int]] = None,
+              dataflow: bool = True) -> ControlFlowGraph:
+    """Build the CFG for an item list (compiled or naturalized).
+
+    With ``dataflow=True`` (the default) and at least one indirect site
+    that the block-local heuristic left ambiguous, the abstract
+    interpreter runs once and its narrowed target sets replace the
+    pool / all-labels candidates wherever they are strictly better.
+    """
     labels = labels or {}
+    cfg = _build(items, entry, labels, {})
+    if not dataflow or not _has_ambiguous_indirect(cfg):
+        return cfg
+    from .dataflow import resolve_indirect_targets
+    narrowed = resolve_indirect_targets(items, entry, labels)
+    if not narrowed:
+        return cfg
+    return _build(items, entry, labels, narrowed)
+
+
+def _has_ambiguous_indirect(cfg: ControlFlowGraph) -> bool:
+    for node in cfg.nodes.values():
+        if node.indirect_site is None:
+            continue
+        if node.indirect_site in cfg.unresolved_indirect:
+            return True
+        last = node.block.instructions[-1]
+        count = len(node.calls) if last.mnemonic == "ICALL" \
+            else len(node.successors)
+        if count > 1:
+            return True
+    return False
+
+
+def _build(items: Sequence, entry: int, labels: Dict[str, int],
+           indirect_targets: Dict[int, Tuple[int, ...]]) \
+        -> ControlFlowGraph:
     instructions = [item for item in items if isinstance(item, Instruction)]
     by_address = {ins.address: ins for ins in instructions}
     addresses = set(by_address)
@@ -180,15 +223,30 @@ def build_cfg(items: Sequence, entry: int,
     pool = _address_pool(items, addresses)
     all_labels = {address for address in labels.values()
                   if address in addresses}
+    # Data-only labels: function-pointer-table entries (``.dw`` words
+    # naming code) never reached by direct control flow.  They stay
+    # candidates at table-reading sites (any block with an LPM) but are
+    # dropped from the pool / all-labels fallback everywhere else.
+    dw_targets = {item.value for item in items
+                  if isinstance(item, DataWord) and item.value in addresses}
+    direct_targets: Set[int] = set()
+    for ins in instructions:
+        if ins.mnemonic in ("RJMP", "JMP", "BRBS", "BRBC",
+                            "CALL", "RCALL"):
+            direct_targets.add(ins.branch_target())
+    data_only = dw_targets - direct_targets - {entry}
     # Indirect-branch candidates and skip shadows must start blocks, and
     # an ICALL must *end* one so the edge builder sees it last (the
     # rewriter's partition never needed those cuts: ICALL falls through).
     icall_splits = {ins.next_address for ins in instructions
                     if ins.mnemonic == "ICALL"
                     and ins.next_address in addresses}
+    narrowed_leaders = {target for targets in indirect_targets.values()
+                        for target in targets if target in addresses}
     starts = {block.start for block in blocks}
     blocks = _split_blocks(
-        blocks, (skip_targets | pool | all_labels | icall_splits) - starts)
+        blocks, (skip_targets | pool | all_labels | icall_splits |
+                 narrowed_leaders) - starts)
 
     cfg = ControlFlowGraph(entry=entry, labels=dict(labels))
     for block in blocks:
@@ -224,13 +282,23 @@ def build_cfg(items: Sequence, entry: int,
         elif mnemonic in ("IJMP", "ICALL"):
             node.indirect_site = last.address
             local = _local_z_values(block).get(last.address)
+            narrowed = indirect_targets.get(last.address)
             if local is not None and local in addresses:
                 candidates: Set[int] = {local}
-            elif pool:
-                candidates = set(pool)
+            elif narrowed:
+                candidates = set(narrowed)
             else:
-                candidates = set(all_labels)
-                cfg.unresolved_indirect.append(last.address)
+                if pool:
+                    candidates = set(pool)
+                else:
+                    candidates = set(all_labels)
+                    cfg.unresolved_indirect.append(last.address)
+                # A block with no LPM cannot be dispatching through a
+                # ``.dw`` table, so table-only entries are noise here.
+                reads_table = any(ins.mnemonic == "LPM"
+                                  for ins in block.instructions)
+                if not reads_table and candidates - data_only:
+                    candidates -= data_only
             if mnemonic == "IJMP":
                 successors.extend(sorted(candidates))
             else:

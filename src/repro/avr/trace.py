@@ -957,9 +957,17 @@ class _Emitter:
         arm_stack = [f"{counter} += 1", eff_stack,
                      f"cy += {charge_stack}", f"kc += {charge_stack}"] \
             + post + ["n += 1"]
-        slow = self._slow_call(facts)
         lines = self._trap_prologue(node)
         lines += addr
+        if facts.elide == "heap":
+            # Certificate-validated: ta never leaves the logical heap,
+            # so the guard chain is dead — run the arm unguarded with
+            # identical effects, counters and charges.
+            return lines + arm_heap
+        if facts.elide == "stack":
+            # Certificate-validated: ta is always a live stack address.
+            return lines + [f"tp = ta + ({stack_disp})"] + arm_stack
+        slow = self._slow_call(facts)
         lines.append(f"if {rs} <= ta < {heap_high}:")
         lines += _ind(arm_heap)
         lines.append(f"elif {heap_high} <= ta < {mem_size}:")
@@ -1026,7 +1034,12 @@ class _Emitter:
                 f"r[{reg}] = mem[tsp]",
                 f"cy += {charge}", f"kc += {charge}", "n += 1"]
         lines = self._trap_prologue(node)
-        lines += ["tsp = cpu.sp + 1", f"if tsp < {region.p_u}:"]
+        lines.append("tsp = cpu.sp + 1")
+        if facts.elide == "pop":
+            # Certificate-validated: depth >= 1, the POP cannot
+            # underflow at any region placement.
+            return lines + fast
+        lines.append(f"if tsp < {region.p_u}:")
         lines += _ind(fast)
         lines.append("else:")
         lines += _ind(self._flush(None, "plain",

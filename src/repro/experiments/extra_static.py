@@ -212,6 +212,10 @@ class LintRow:
     sites_total: int
     sites_verified: int
     violations: int
+    #: Elision certificates the image carries / the independent
+    #: checker re-proved (see repro.analysis.static.dataflow).
+    certificates: int = 0
+    certificates_verified: int = 0
 
     @property
     def coverage(self) -> float:
@@ -274,9 +278,10 @@ class StaticResult:
                   "runtime peaks")
         lint = format_table(
             ["workload", "patch sites", "verified", "coverage",
-             "violations"],
+             "violations", "elision certs"],
             [[r.workload, r.sites_total, r.sites_verified,
-              f"{100 * r.coverage:.1f}%", r.violations]
+              f"{100 * r.coverage:.1f}%", r.violations,
+              f"{r.certificates_verified}/{r.certificates}"]
              for r in self.lint_rows],
             title="Rewriter soundness lint over the same images")
         unbounded = ", ".join(self.unbounded_tasks) or "none"
@@ -305,7 +310,9 @@ def compute_workload(workload: str,
     lint_row = LintRow(workload=workload,
                        sites_total=report.sites_total,
                        sites_verified=report.sites_verified,
-                       violations=len(report.findings))
+                       violations=len(report.findings),
+                       certificates=report.certificates,
+                       certificates_verified=report.certificates_verified)
 
     analyses = {task.name: analyze_program(task.natural.program)
                 for task in image.tasks}

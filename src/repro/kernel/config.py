@@ -77,6 +77,14 @@ class KernelConfig:
     #: Off stops at the per-block tiers; results are bit-identical.
     trace: bool = True
 
+    #: Drop per-access bound guards at trap sites the dataflow engine
+    #: proved in-region (see repro.analysis.static.dataflow) — only at
+    #: sites whose ElisionCertificate the independent lint checker
+    #: re-validates at load time.  Counters, cycle charges and memory
+    #: effects are unchanged; results are bit-identical.  Off (the
+    #: default) keeps every guard.
+    elide: bool = False
+
     #: Maximum fused instructions per superblock (and per trace node).
     #: Larger blocks amortize more dispatch overhead per straight-line
     #: run at the cost of compile time; 48 covers every hot loop in the

@@ -82,6 +82,14 @@ class SenSmartKernel:
         self.regions = RegionTable(self.config)
         self.scheduler = RoundRobinScheduler(self.config)
         self.trampolines = image.trampolines_by_address
+        #: Naturalized site -> proven claim ("heap"/"stack"/"pop") the
+        #: JIT tiers may elide guards for.  Populated only under
+        #: ``config.elide`` and only from certificates the independent
+        #: lint checker re-validated against this node's geometry.
+        self.elisions: Dict[int, str] = {}
+        if self.config.elide:
+            from ..analysis.static.dataflow import validated_elisions
+            self.elisions = validated_elisions(image, self.config)
         self.handlers = TrapHandlers(self)
         self.specializer = None
         thunk_factory = self.handlers.thunk_factory

@@ -65,6 +65,7 @@ class SensorNode:
                      fuse: Optional[bool] = None,
                      specialize: Optional[bool] = None,
                      trace: Optional[bool] = None,
+                     elide: Optional[bool] = None,
                      max_block_members: Optional[int] = None,
                      lint: Optional[bool] = None,
                      block_cache=None) -> "SensorNode":
@@ -73,6 +74,8 @@ class SensorNode:
         *fuse*, *specialize* and *trace* override the config's
         superblock-fusion, trap-specialization and trace-chaining knobs
         (execution stays bit-identical either way; all on is fastest);
+        *elide* overrides certificate-driven guard elision at proven
+        trap sites (also bit-identical).
         *max_block_members* overrides the fusion length cap.  *lint*
         overrides the config's ``lint_on_link`` self-check.
         *block_cache* forwards to the kernel's CPU (None = process-wide
@@ -86,6 +89,8 @@ class SensorNode:
             overrides["specialize"] = specialize
         if trace is not None:
             overrides["trace"] = trace
+        if elide is not None:
+            overrides["elide"] = elide
         if max_block_members is not None:
             overrides["max_block_members"] = max_block_members
         if lint is not None:

@@ -92,6 +92,11 @@ class TraceFacts:
     config: object
     bindings: Dict[str, object]
     spec_key: Tuple
+    #: Validated elision claim for the site ("heap"/"stack"/"pop"), or
+    #: None.  When set, the emitters drop the corresponding bound guard
+    #: (the certificate proves the fast arm is always taken); the claim
+    #: is part of ``spec_key`` so cached code never crosses settings.
+    elide: Optional[str] = None
 
 
 class TrapSpecializer:
@@ -194,7 +199,8 @@ class TrapSpecializer:
                     trampoline.params, site, block, invalidate, slow)
                 if loop is not None:
                     return loop, bindings, spec_key, True
-        body = gen(trampoline.params, site, region, slow)
+        claim = self._claim(site, trampoline.kind)
+        body = gen(trampoline.params, site, region, slow, claim)
         if body is None:
             self.stats.declined += 1
             return None
@@ -206,6 +212,8 @@ class TrapSpecializer:
                         task.region_epoch, region.p_l, region.p_h,
                         region.p_u, config.ram_start, config.memory_size,
                         config.stack_margin)
+            if claim is not None:
+                spec_key = spec_key + (("elide", claim),)
         else:
             guard = "if k_task is not k_kernel.current:"
         lines = [guard,
@@ -243,13 +251,17 @@ class TrapSpecializer:
         if needs_region and region is None:
             return None
         config = kernel.config
+        claim = self._claim(site, trampoline.kind)
         if needs_region:
             spec_key = (trampoline.kind.name, trampoline.params,
                         task.region_epoch, region.p_l, region.p_h,
                         region.p_u, config.ram_start, config.memory_size,
                         config.stack_margin)
+            if claim is not None:
+                spec_key = spec_key + (("elide", claim),)
         else:
             region = None
+            claim = None
             spec_key = (trampoline.kind.name, trampoline.params,
                         config.branch_trap_period)
         bindings = {
@@ -267,9 +279,22 @@ class TrapSpecializer:
                           kind=trampoline.kind, params=trampoline.params,
                           task=task, region=region,
                           epoch=task.region_epoch, config=config,
-                          bindings=bindings, spec_key=spec_key)
+                          bindings=bindings, spec_key=spec_key,
+                          elide=claim)
 
     # -- helpers -----------------------------------------------------------------
+
+    #: Which claim may elide which trampoline kind's guard.
+    _ELIDABLE = {PatchKind.MEM_INDIRECT: ("heap", "stack"),
+                 PatchKind.STACK_POP: ("pop",)}
+
+    def _claim(self, site: int, kind: "PatchKind") -> Optional[str]:
+        """The validated elision claim for *site*, when it matches the
+        trampoline *kind* (None = keep every guard)."""
+        claim = self.kernel.elisions.get(site)
+        if claim is not None and claim in self._ELIDABLE.get(kind, ()):
+            return claim
+        return None
 
     def _owner(self, site: int):
         for task in self.kernel.tasks.values():
@@ -292,7 +317,8 @@ class TrapSpecializer:
     # dispatch, which counts itself), charges land after the memory
     # effect, and the high-water updates replicate ensure_stack_room.
 
-    def _mem_indirect(self, params, site: int, region, slow: str):
+    def _mem_indirect(self, params, site: int, region, slow: str,
+                       claim=None):
         mnemonic, reg, mode, grouped = params
         resume = site + 2
         config = self.kernel.config
@@ -335,6 +361,14 @@ class TrapSpecializer:
             + post + [f"cpu.pc = {resume}"]
         arm_stack = [_COUNT, eff_stack] + self._charge(2 + overhead_stack) \
             + post + [f"cpu.pc = {resume}"]
+        if claim == "heap":
+            # Certificate: ta is always inside the logical heap — the
+            # range checks can never fail, so the arm runs unguarded
+            # (same effects, counters and charges, no branches).
+            return addr + arm_heap
+        if claim == "stack":
+            # Certificate: ta is always a live in-stack address.
+            return addr + [f"tp = ta + ({ds})"] + arm_stack
         body = addr
         body.append(f"if {rs} <= ta < {hh}:")
         body.extend("    " + line for line in arm_heap)
@@ -348,7 +382,8 @@ class TrapSpecializer:
         body.append(f"    {slow}")      # IO class or out of space
         return body
 
-    def _mem_direct(self, params, site: int, region, slow: str):
+    def _mem_direct(self, params, site: int, region, slow: str,
+                     claim=None):
         mnemonic, reg, logical = params
         resume = site + 2
         config = self.kernel.config
@@ -375,7 +410,8 @@ class TrapSpecializer:
         return [_COUNT, effect] + self._charge(cycles) \
             + [f"cpu.pc = {resume}"]
 
-    def _stack_push(self, params, site: int, region, slow: str):
+    def _stack_push(self, params, site: int, region, slow: str,
+                     claim=None):
         (reg,) = params
         resume = site + 2
         floor = region.p_h + self.kernel.config.stack_margin
@@ -393,20 +429,26 @@ class TrapSpecializer:
         body.append(f"    {slow}")  # needs relocation or overflows
         return body
 
-    def _stack_pop(self, params, site: int, region, slow: str):
+    def _stack_pop(self, params, site: int, region, slow: str,
+                    claim=None):
         (reg,) = params
         resume = site + 2
         fast = [_COUNT,
                 "cpu.sp = tsp",
                 f"r[{reg}] = mem[tsp]"] \
             + self._charge(2 + costs.STACK_OP) + [f"cpu.pc = {resume}"]
+        if claim == "pop":
+            # Certificate: stack depth >= 1 at this POP for every
+            # reachable state — it cannot underflow.
+            return ["tsp = cpu.sp + 1"] + fast
         body = ["tsp = cpu.sp + 1", f"if tsp < {region.p_u}:"]
         body.extend("    " + line for line in fast)
         body.append("else:")
         body.append(f"    {slow}")  # POP from an empty stack: fault
         return body
 
-    def _call_direct(self, params, site: int, region, slow: str):
+    def _call_direct(self, params, site: int, region, slow: str,
+                      claim=None):
         (nat_target,) = params
         resume = site + 2
         floor = region.p_h + self.kernel.config.stack_margin
@@ -523,7 +565,8 @@ class TrapSpecializer:
         body += ["    " + line for line in fast]
         return body
 
-    def _branch_backward(self, params, site: int, region, slow: str):
+    def _branch_backward(self, params, site: int, region, slow: str,
+                          claim=None):
         bit, branch_if_set, nat_target = params
         resume = site + 2
         inline = costs.BRANCH_COUNTER_INLINE

@@ -14,6 +14,7 @@ from ..fingerprint import content_key
 #: Schema tags, versioned independently of the store formats.
 VERDICT_SCHEMA = "sensmart-verdict/1"
 LINT_SCHEMA = "sensmart-lint/1"
+ANALYZE_SCHEMA = "sensmart-analyze/1"
 RUN_SCHEMA = "sensmart-run/1"
 SERVE_STATS_SCHEMA = "sensmart-serve-stats/1"
 
@@ -28,6 +29,8 @@ def lint_report_dict(report) -> dict:
         "shift_entries": report.shift_entries,
         "instructions_scanned": report.instructions_scanned,
         "trampolines": report.trampolines,
+        "certificates": report.certificates,
+        "certificates_verified": report.certificates_verified,
         "findings": [
             {"check": finding.check, "program": finding.program,
              "address": finding.address,
@@ -35,6 +38,22 @@ def lint_report_dict(report) -> dict:
              "message": finding.message}
             for finding in report.findings
         ],
+    }
+
+
+def analyze_report_dict(image) -> dict:
+    """JSON form of the ``sensmart analyze`` dataflow summary: per-task
+    site counts, indirect-control resolution quality, and the
+    certificate-carrying (provably in-region) sites by claim."""
+    from ..analysis.static import analyze_image
+    tasks = analyze_image(image)
+    return {
+        "tasks": tasks,
+        "sites_total": sum(row["sites"] for row in tasks),
+        "certificates_total": sum(row["certificates_total"]
+                                  for row in tasks),
+        "unresolved_indirect": sum(row["unresolved_indirect"]
+                                   for row in tasks),
     }
 
 

@@ -1,0 +1,120 @@
+"""SREG liveness edge cases: trap continuations and CFG joins.
+
+Satellite coverage for :mod:`repro.analysis.static.liveness`: the
+dead-write analysis must stay conservative exactly where the kernel's
+trap machinery re-enters the program (call continuations leak every
+flag to code the local CFG cannot see), while branch predicates must
+stay live across join points until the block that finally reads them.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.static import build_cfg
+from repro.analysis.static.liveness import (ALL_FLAGS, C, Z,
+                                            block_transfer,
+                                            sreg_effects,
+                                            sreg_liveness)
+from repro.toolchain import compile_source
+
+
+def _liveness(source: str):
+    program = compile_source(source, name="t")
+    cfg = build_cfg(program.items, program.entry,
+                    dict(program.symbols.labels))
+    return program, cfg, sreg_liveness(cfg)
+
+
+# -- dead-write kill across trap continuations --------------------------------
+
+def test_dead_flag_write_without_continuation_is_reported():
+    """DEC's flag writes are provably dead when the only successor
+    overwrites them before any read."""
+    program, cfg, live = _liveness("""
+main:
+    dec r24
+    rjmp next
+next:
+    ldi r20, 1
+    add r20, r20
+    break
+""")
+    first = cfg.node_containing(program.entry)
+    dead = live.dead_writes(cfg)
+    assert dead[first.block.start] & Z  # DEC's Z write: nothing reads it
+
+
+def test_call_continuation_kills_the_dead_write():
+    """The same DEC followed by a call: the callee (a trap continuation
+    the local analysis cannot see through) may read any flag, so the
+    write must NOT be reported dead."""
+    program, cfg, live = _liveness("""
+main:
+    dec r24
+    rcall helper
+    rjmp next
+next:
+    ldi r20, 1
+    add r20, r20
+    break
+helper:
+    ret
+""")
+    first = cfg.node_containing(program.entry)
+    assert first.calls                      # the RCALL edge is there
+    assert live.live_out[first.block.start] == ALL_FLAGS
+    dead = live.dead_writes(cfg)
+    assert dead[first.block.start] == 0     # conservatively kept
+
+
+def test_ret_leaks_all_flags_to_the_caller():
+    reads, writes = sreg_effects("RET")
+    assert reads == ALL_FLAGS and writes == 0
+
+
+# -- branch-predicate deferral at CFG joins -----------------------------------
+
+def test_branch_predicate_stays_live_across_join():
+    """CPI writes C; the read (BRCC) happens only *after* the join of
+    the two arms, so C must be live-in through both — and CPI's C
+    write must not be reported dead."""
+    program, cfg, live = _liveness("""
+main:
+    cpi r24, 4
+    brne other
+    ldi r20, 1
+    rjmp join
+other:
+    ldi r20, 2
+join:
+    brcc done
+    ldi r21, 1
+done:
+    break
+""")
+    labels = program.symbols.labels
+    first = cfg.node_containing(program.entry)
+    fall = cfg.node_containing(labels["other"] - 2)  # ldi r20,1 arm
+    other = cfg.node_containing(labels["other"])
+    join = cfg.node_containing(labels["join"])
+    # The join block itself demands C on entry.
+    assert live.live_in[join.block.start] & C
+    # Both arms defer the predicate: neither writes C, both carry it.
+    for arm in (fall, other):
+        assert live.live_in[arm.block.start] & C
+        assert live.live_out[arm.block.start] & C
+    # And the writer block keeps C live-out, so it is never dead.
+    assert live.live_out[first.block.start] & C
+    assert not live.dead_writes(cfg)[first.block.start] & C
+
+
+def test_block_transfer_defers_unwritten_bits():
+    """block_transfer propagates bits the block neither reads nor
+    writes (the join-deferral primitive the fixpoint relies on)."""
+    program, cfg, _ = _liveness("""
+main:
+    ldi r20, 2
+    mov r21, r20
+    break
+""")
+    node = cfg.node_containing(program.entry)
+    assert block_transfer(node, C | Z) == C | Z

@@ -105,12 +105,47 @@ h_two:
 table:
     .dw h_one, h_two
 """)
+    callees = {callee for node in cfg.nodes.values()
+               for _, callee in node.calls}
+    # The straight-line LPM chain provably loads table entry 0, so the
+    # dataflow pass narrows the ICALL to exactly h_one.
+    assert callees == {program.symbols.labels["h_one"]}
+    # Pool resolution is not the all-labels fallback.
+    assert not cfg.unresolved_indirect
+
+
+def test_cfg_icall_looping_table_keeps_all_handlers():
+    program, cfg = _cfg("""
+main:
+    ldi r21, 2
+    ldi r30, lo8(table * 2)
+    ldi r31, hi8(table * 2)
+loop:
+    lpm r24, Z+
+    lpm r25, Z+
+    push r21
+    movw r30, r24
+    icall
+    pop r21
+    dec r21
+    brne loop
+    break
+h_one:
+    ldi r20, 1
+    ret
+h_two:
+    ldi r20, 2
+    ret
+table:
+    .dw h_one, h_two
+""")
     handlers = {program.symbols.labels["h_one"],
                 program.symbols.labels["h_two"]}
     callees = {callee for node in cfg.nodes.values()
                for _, callee in node.calls}
+    # Z widens across the loop head, so dataflow reports ⊤ and the
+    # pool (the .dw table) stays the candidate set — both handlers.
     assert handlers <= callees
-    # Pool resolution is not the all-labels fallback.
     assert not cfg.unresolved_indirect
 
 
