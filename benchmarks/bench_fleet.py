@@ -1,0 +1,139 @@
+"""Fleet sharding scaling curves: nodes/sec vs shard count.
+
+Runs the flood workload over growing grids at 1/2/4/8 shards and
+writes BENCH_fleet.json with a nodes/sec curve per fleet size plus a
+digest-invariance check (every shard count of a scenario must produce
+the same fleet digest).
+
+Metric: ``critical_path_s`` = coordinator CPU + priming CPU + the
+slowest shard's CPU seconds.  Per-process CPU time is used instead of
+wall-clock so the curve measures the parallel decomposition itself —
+what wall-clock would be on a host with >= shards idle cores — and is
+stable on throttled single-core CI runners where wall-clock of
+concurrent workers is meaningless.  Wall-clock is reported alongside,
+unjudged.
+
+``--quick`` runs only the 128-node scenario at 1 and 4 shards and
+asserts >= 1.5x nodes/sec plus digest equality (CI smoke); the full
+run asserts >= 2x at 4 shards on the 128-node scenario.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.fleet import FleetSim, build_spec, grid  # noqa: E402
+
+MAX_CYCLES = 3_000_000
+COUNT = 6
+SHARD_COUNTS = (1, 2, 4, 8)
+#: (label, rows, cols) — 16..512 nodes.
+SCENARIOS = (
+    ("grid-4x4", 4, 4),
+    ("grid-8x8", 8, 8),
+    ("grid-8x16", 8, 16),
+    ("grid-16x32", 16, 32),
+)
+QUICK_SCENARIO = "grid-8x16"  # 128 nodes
+
+
+def run_point(rows: int, cols: int, shards: int) -> dict:
+    spec = build_spec(grid(rows, cols, latency_cycles=2_000), "flood",
+                      count=COUNT, max_cycles=MAX_CYCLES)
+    result = FleetSim(spec, shards=shards).run()
+    return {
+        "shards": result.shards,
+        "rounds": result.rounds,
+        "finished": result.finished_nodes,
+        "digest": result.digest,
+        "critical_path_s": round(result.critical_path_s, 4),
+        "wall_s": round(result.wall_s, 4),
+        "shard_cpu_s": [round(b, 4) for b in result.busy_s],
+        "nodes_per_sec": round(result.nodes_per_sec, 2),
+        "compiled_per_shard": result.compiled_per_shard,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="128-node scenario only, shards 1 and 4, "
+                             "assert >= 1.5x and digest equality")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON report here (default: "
+                             "BENCH_fleet.json at the repo root; "
+                             "--quick skips writing unless given)")
+    args = parser.parse_args()
+
+    scenarios = [s for s in SCENARIOS
+                 if not args.quick or s[0] == QUICK_SCENARIO]
+    shard_counts = (1, 4) if args.quick else SHARD_COUNTS
+    floor = 1.5 if args.quick else 2.0
+
+    curves = []
+    speedup_128 = None
+    for label, rows, cols in scenarios:
+        nodes = rows * cols
+        points = []
+        for shards in shard_counts:
+            point = run_point(rows, cols, shards)
+            points.append(point)
+            print(f"{label:<12} nodes={nodes:<4} shards={shards:<2} "
+                  f"critical={point['critical_path_s']:.3f}s "
+                  f"wall={point['wall_s']:.3f}s "
+                  f"{point['nodes_per_sec']:9.1f} nodes/s "
+                  f"rounds={point['rounds']}")
+        digests = {p["digest"] for p in points}
+        assert len(digests) == 1, \
+            f"{label}: digest varies with shard count: {digests}"
+        print(f"{label:<12} digest invariant across shards "
+              f"{list(shard_counts)}: {points[0]['digest']}")
+        by_shards = {p["shards"]: p for p in points}
+        speedup4 = None
+        if 1 in by_shards and 4 in by_shards:
+            speedup4 = round(by_shards[4]["nodes_per_sec"]
+                             / by_shards[1]["nodes_per_sec"], 2)
+        if label == QUICK_SCENARIO:
+            speedup_128 = speedup4
+        curves.append({
+            "topology": label, "nodes": nodes,
+            "points": points,
+            "speedup_4_vs_1": speedup4,
+        })
+
+    assert speedup_128 is not None and speedup_128 >= floor, \
+        (f"4-shard nodes/sec speedup on the 128-node scenario is "
+         f"{speedup_128}, need >= {floor}")
+    print(f"\n128-node 4-shard speedup {speedup_128}x "
+          f"(floor {floor}x) -- OK")
+
+    report = {
+        "benchmark": "fleet",
+        "workload": f"flood k={COUNT}, latency 2000, "
+                    f"max_cycles {MAX_CYCLES}",
+        "metric": "nodes/sec over critical-path CPU seconds "
+                  "(coordinator + priming + slowest shard; the "
+                  "wall-clock a host with >= shards idle cores would "
+                  "see -- CPU time, so it is meaningful on 1-core "
+                  "runners where concurrent-worker wall-clock is not)",
+        "digest_invariant": True,
+        "speedup_4_shards_128_nodes": speedup_128,
+        "curves": curves,
+    }
+    out = args.out
+    if out is None and not args.quick:
+        out = str(Path(__file__).resolve().parent.parent
+                  / "BENCH_fleet.json")
+    if out:
+        Path(out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -121,7 +121,7 @@ def main() -> None:
     print(f"base station queued {len(image_bytes)} image bytes at the "
           f"gateway")
 
-    net.run(max_cycles=80_000_000, until_all_finished=False)
+    net.run(max_cycles=80_000_000)
     link = net.link_between("gateway", "field")
     print(f"link carried {link.delivered} bytes "
           f"({link.dropped} dropped)")

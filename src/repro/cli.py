@@ -53,6 +53,56 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from .faults.plan import FaultPlan
+    from .fleet import FleetSim, build_spec, grid, random_geometric
+    from .pipeline.report import FLEET_SCHEMA, fleet_report_dict
+    if args.quick:
+        # Pinned smoke scenario (CI diffs it against
+        # tests/golden/fleet_quick.txt): 4x4 grid flood, 2 shards.
+        args.topology, args.rows, args.cols = "grid", 4, 4
+        args.workload, args.count = "flood", 6
+        args.max_cycles = 3_000_000
+        if args.shards is None:
+            args.shards = 2
+    if args.shards is None:
+        args.shards = 1
+    if args.topology == "grid":
+        topo = grid(args.rows, args.cols,
+                    latency_cycles=args.latency,
+                    loss_permille=args.loss,
+                    corrupt_permille=args.corrupt,
+                    dup_permille=args.dup, seed=args.seed)
+    else:
+        topo = random_geometric(args.nodes,
+                                radius_permille=args.radius,
+                                latency_cycles=args.latency,
+                                loss_permille=args.loss,
+                                corrupt_permille=args.corrupt,
+                                dup_permille=args.dup, seed=args.seed)
+    plan = None
+    if args.sram_flips or args.flash_flips or args.drift_steps:
+        plan = FaultPlan(seed=args.seed,
+                         horizon_cycles=args.fault_horizon,
+                         warmup_cycles=args.fault_warmup,
+                         sram_flips=args.sram_flips,
+                         flash_flips=args.flash_flips,
+                         drift_steps=args.drift_steps)
+    spec = build_spec(topo, args.workload, count=args.count,
+                      seed=args.seed, max_cycles=args.max_cycles,
+                      fault_plan=plan)
+    result = FleetSim(spec, shards=args.shards,
+                      prime=not args.no_prime).run()
+    if args.json:
+        print(json.dumps(
+            {"schema": FLEET_SCHEMA,
+             "fleet": fleet_report_dict(result, timing=args.timing)},
+            indent=2, sort_keys=True))
+    else:
+        print(result.render(timing=args.timing))
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     sources = []
     for path_text in args.files:
@@ -379,6 +429,56 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--quick", action="store_true",
                        help="smoke-test sized campaign")
     chaos.set_defaults(func=_cmd_chaos)
+
+    fleet = sub.add_parser(
+        "fleet", help="sharded multi-node fleet co-simulation "
+                      "(digest is shard-count invariant)")
+    fleet.add_argument("--topology", choices=["grid", "rgg"],
+                       default="grid")
+    fleet.add_argument("--rows", type=int, default=4,
+                       help="grid rows")
+    fleet.add_argument("--cols", type=int, default=4,
+                       help="grid columns")
+    fleet.add_argument("--nodes", type=int, default=24,
+                       help="rgg node count")
+    fleet.add_argument("--radius", type=int, default=350,
+                       metavar="PERMILLE",
+                       help="rgg connect radius, 1/1000ths of the "
+                            "unit square")
+    fleet.add_argument("--workload", choices=["flood", "relay"],
+                       default="flood")
+    fleet.add_argument("--count", type=int, default=8, metavar="K",
+                       help="bytes injected by the source")
+    fleet.add_argument("--latency", type=int, default=2_000,
+                       metavar="CYCLES", help="link latency (>= 1)")
+    fleet.add_argument("--loss", type=int, default=0,
+                       metavar="PERMILLE")
+    fleet.add_argument("--corrupt", type=int, default=0,
+                       metavar="PERMILLE")
+    fleet.add_argument("--dup", type=int, default=0,
+                       metavar="PERMILLE")
+    fleet.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="worker processes (default 1; >1 forks)")
+    fleet.add_argument("--seed", type=lambda s: int(s, 0),
+                       default=0xF1EE7, metavar="S")
+    fleet.add_argument("--max-cycles", type=int, default=50_000_000)
+    fleet.add_argument("--sram-flips", type=int, default=0,
+                       help="per-node SRAM bit flips (FaultPlan)")
+    fleet.add_argument("--flash-flips", type=int, default=0,
+                       help="per-node flash bit flips (FaultPlan)")
+    fleet.add_argument("--drift-steps", type=int, default=0,
+                       help="per-node clock-drift events (FaultPlan)")
+    fleet.add_argument("--fault-warmup", type=int, default=4_000)
+    fleet.add_argument("--fault-horizon", type=int, default=40_000)
+    fleet.add_argument("--quick", action="store_true",
+                       help="pinned 16-node smoke scenario (golden)")
+    fleet.add_argument("--no-prime", action="store_true",
+                       help="skip the pre-fork JIT priming pass")
+    fleet.add_argument("--timing", action="store_true",
+                       help="append host-dependent timing lines")
+    fleet.add_argument("--json", action="store_true",
+                       help="emit the sensmart-fleet/1 JSON report")
+    fleet.set_defaults(func=_cmd_fleet)
 
     run = sub.add_parser("run", help="run programs under SenSmart")
     run.add_argument("files", nargs="+")

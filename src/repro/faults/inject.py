@@ -195,9 +195,11 @@ class FaultInjector:
 
         A reboot replaces the node's CPU (and thus its event queue and
         radio TX log), so the injector re-arms the node's remaining
-        future faults on the fresh queue and rewinds the TX cursor of
-        every link sourced at the node.  Faults whose time passed while
-        the node was dark are counted as missed.
+        future faults on the fresh queue and asks the network to forget
+        the node's in-flight traffic (pending inbox arrivals die with
+        the old event queue; TX cursors rewind for the fresh radio).
+        Faults whose time passed while the node was dark are counted as
+        missed.
         """
         recovered = 0
         for binding in self._bindings.values():
@@ -208,9 +210,7 @@ class FaultInjector:
             self.counts["recovered"] += 1
             self._record(binding, "reboot")
             if self._network is not None:
-                for link in self._network.links:
-                    if link.source == binding.name:
-                        link._tx_cursor = 0
+                self._network.reset_node_io(binding.name)
             now = binding.node.cpu.cycles
             for index, action in enumerate(binding.actions):
                 if binding.fired[index]:

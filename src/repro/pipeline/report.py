@@ -17,6 +17,50 @@ LINT_SCHEMA = "sensmart-lint/1"
 ANALYZE_SCHEMA = "sensmart-analyze/1"
 RUN_SCHEMA = "sensmart-run/1"
 SERVE_STATS_SCHEMA = "sensmart-serve-stats/1"
+FLEET_SCHEMA = "sensmart-fleet/1"
+
+
+def fleet_report_dict(result, timing: bool = False) -> dict:
+    """JSON form of a :class:`~repro.fleet.FleetResult`.
+
+    Everything outside the ``timing`` block is deterministic for a
+    given (spec, shards) pair — including ``digest``, which is
+    bit-identical across shard counts; timing is host-dependent and
+    therefore opt-in.
+    """
+    report = {
+        "label": result.label,
+        "nodes": result.nodes,
+        "links": result.links,
+        "cross_links": result.cross_links,
+        "shards": result.shards,
+        "rounds": result.rounds,
+        "finished_nodes": result.finished_nodes,
+        "max_node_cycles": result.max_node_cycles,
+        "total_instret": result.total_instret,
+        "bytes": {
+            "delivered": result.delivered,
+            "dropped": result.dropped,
+            "corrupted": result.corrupted,
+            "duplicated": result.duplicated,
+            "cross_shard_ferried": result.cross_bytes,
+        },
+        "faults": dict(result.fault_counts),
+        "primed_images": result.primed_images,
+        "compiled_per_shard": list(result.compiled_per_shard),
+        "digest": result.digest,
+    }
+    if timing:
+        report["timing"] = {
+            "metric": "critical_path_cpu_seconds",
+            "wall_s": round(result.wall_s, 6),
+            "prime_s": round(result.prime_s, 6),
+            "coordinator_cpu_s": round(result.coordinator_cpu_s, 6),
+            "shard_cpu_s": [round(b, 6) for b in result.busy_s],
+            "critical_path_s": round(result.critical_path_s, 6),
+            "nodes_per_sec": round(result.nodes_per_sec, 3),
+        }
+    return report
 
 
 def lint_report_dict(report) -> dict:

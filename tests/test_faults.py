@@ -90,8 +90,7 @@ def test_loss_drop_positions_are_pinned_per_byte(scheduler):
     exact drop positions for a known seed are a contract — identical
     under the event-driven and lockstep schedulers."""
     net = _relay_net(loss=400)
-    getattr(net, scheduler)(max_cycles=3_000_000,
-                            until_all_finished=False)
+    getattr(net, scheduler)(max_cycles=3_000_000)
     link = net.link_between("tx", "rx")
     expected = _expected_drops(6, 400)
     assert link.drop_positions == expected
@@ -103,9 +102,9 @@ def test_corruption_and_duplication_streams_are_independent():
     """Enabling corruption/duplication must not perturb which bytes
     the loss stream drops — each fault kind has its own LFSR."""
     plain = _relay_net(loss=400)
-    plain.run(max_cycles=3_000_000, until_all_finished=False)
+    plain.run(max_cycles=3_000_000)
     noisy = _relay_net(loss=400, corrupt=500, dup=400)
-    noisy.run(max_cycles=3_000_000, until_all_finished=False)
+    noisy.run(max_cycles=3_000_000)
     link_plain = plain.link_between("tx", "rx")
     link_noisy = noisy.link_between("tx", "rx")
     assert link_noisy.drop_positions == link_plain.drop_positions

@@ -108,7 +108,7 @@ def test_lossy_link_drops_deterministically():
         net.add_node("rx", SensorNode.from_sources(
             [("receiver", RECEIVER)]))
         net.connect("tx", "rx", loss_permille=400)
-        net.run(max_cycles=3_000_000, until_all_finished=False)
+        net.run(max_cycles=3_000_000)
         link = net.link_between("tx", "rx")
         return link.delivered, link.dropped
     first = run_once()
