@@ -1,0 +1,23 @@
+"""Adversarial workloads: radio code-injection and live hot-patching.
+
+Two campaign families stress the containment machinery the benign
+workloads never touch:
+
+* :mod:`.attacks` / :mod:`.campaign` — seeded malicious-payload
+  generators against intentionally-vulnerable receiver tasks, with
+  every trial classified into a containment taxonomy (what did logical
+  addressing trap, what did the kernel merely terminate, what slipped
+  through silently, what hijacked control).
+* :mod:`.patch` — an over-the-air flash update of a *running* task
+  through the radio -> :class:`~repro.kernel.loader.DynamicLoader`
+  path, with the surrounding relay network kept alive mid-update.
+"""
+
+from .attacks import DEFAULT_SEED, MARKER, SHAPE_NAMES
+from .campaign import OUTCOMES, InjectResult, run_inject
+from .patch import PatchReport, run_patch
+
+__all__ = [
+    "DEFAULT_SEED", "MARKER", "SHAPE_NAMES", "OUTCOMES",
+    "InjectResult", "run_inject", "PatchReport", "run_patch",
+]

@@ -1,0 +1,446 @@
+"""Vulnerable receiver tasks and seeded malicious-payload generators.
+
+The victims reproduce the attack surface of "Code Injection Attacks on
+Harvard-Architecture Devices": fixed-size buffer copy loops fed from
+the radio with an attacker-controlled length byte, an
+attacker-controlled stack pointer write, and an attacker-controlled
+indirect jump.  Each victim also carries a 16-byte ``status`` block it
+fills with a known pattern at startup and XOR-digests back over the
+radio before exiting, so a trial can distinguish a clean run from a
+silent overwrite of the victim's own data.
+
+Payload generators are pure functions of an :class:`AddressBook`
+(label addresses resolved from the victim's linked image) and a
+:class:`~repro.faults.XorShift32` stream, so campaigns reproduce
+byte-for-byte from a seed.  This module deliberately imports no kernel
+or network machinery — it only produces assembly text and payload
+bytes; :mod:`.campaign` wires them to nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..avr import ioports
+from ..avr.devices.radio import RXC
+
+DEFAULT_SEED = 0xAD5EED
+
+#: Two consecutive bytes only the hijack gadget transmits; seeing them
+#: in the victim node's TX log proves attacker-directed execution.
+MARKER = (0xEE, 0x7E)
+
+#: Victim integrity scratch: 16 bytes filled with 0x41, 0x44, ... and
+#: XOR-digested over the radio before a clean exit.
+STATUS_BYTES = 16
+STATUS_FILL_START = 0x41
+STATUS_FILL_STEP = 3
+
+#: The fixed-size copy target the length byte is never checked against.
+BUF_BYTES = 16
+
+#: Canary task heap pattern (3, 10, 17, ... — distinct from status).
+CANARY_BYTES = 16
+CANARY_FILL_START = 3
+CANARY_FILL_STEP = 7
+CANARY_TIMER_TICKS = 4096
+
+
+def status_pattern() -> bytes:
+    return bytes((STATUS_FILL_START + STATUS_FILL_STEP * i) & 0xFF
+                 for i in range(STATUS_BYTES))
+
+
+def status_digest() -> int:
+    return reduce(lambda a, b: a ^ b, status_pattern(), 0)
+
+
+def canary_pattern() -> bytes:
+    return bytes((CANARY_FILL_START + CANARY_FILL_STEP * i) & 0xFF
+                 for i in range(CANARY_BYTES))
+
+
+# -- shared assembly fragments ------------------------------------------------------
+
+_IO_ROUTINES = f"""
+send_byte:
+wait_tx:
+    lds r17, {ioports.UCSR0A}
+    sbrs r17, {ioports.UDRE}
+    rjmp wait_tx
+    sts {ioports.UDR0}, r16
+    ret
+read_byte:
+wait_rx:
+    lds r17, {ioports.UCSR0A}
+    sbrs r17, {RXC}
+    rjmp wait_rx
+    lds r16, {ioports.UDR0}
+    ret
+"""
+
+_STATUS_ROUTINES = f"""
+fill_status:
+    ldi r26, lo8(status)
+    ldi r27, hi8(status)
+    ldi r20, {STATUS_BYTES}
+    ldi r16, {STATUS_FILL_START}
+fill_loop:
+    st X+, r16
+    subi r16, {(256 - STATUS_FILL_STEP) & 0xFF}
+    dec r20
+    brne fill_loop
+    ret
+send_digest:
+    ldi r26, lo8(status)
+    ldi r27, hi8(status)
+    ldi r20, {STATUS_BYTES}
+    ldi r16, 0
+digest_loop:
+    ld r17, X+
+    eor r16, r17
+    dec r20
+    brne digest_loop
+    call send_byte
+    ret
+"""
+
+_GADGET = """
+gadget:
+    ldi r16, 0xEE
+    call send_byte
+    ldi r16, 0x7E
+    call send_byte
+    break
+"""
+
+#: The classic unchecked frame copy onto the stack: the length byte is
+#: trusted, the copy starts one byte above the saved return address of
+#: ``recv_frame``, so two attacker bytes redirect the native RET.
+VICTIM_STACK = f"""
+.bss status, {STATUS_BYTES}
+main:
+    call fill_status
+    call recv_frame
+    call send_digest
+    break
+recv_frame:
+    call read_byte
+    mov r20, r16
+    in r28, 0x3D
+    in r29, 0x3E
+    adiw r28, 1
+copy:
+    call read_byte
+    st Y+, r16
+    dec r20
+    brne copy
+    ret
+{_GADGET}
+{_STATUS_ROUTINES}
+{_IO_ROUTINES}
+"""
+
+#: Unchecked frame copy into a 16-byte heap buffer; ``status`` sits
+#: directly above it, so moderate overflows corrupt the victim's own
+#: data silently while large ones cross the region boundary.
+VICTIM_HEAP = f"""
+.bss buf, {BUF_BYTES}
+.bss status, {STATUS_BYTES}
+main:
+    call fill_status
+    call recv_frame
+    call send_digest
+    break
+recv_frame:
+    call read_byte
+    mov r20, r16
+    ldi r26, lo8(buf)
+    ldi r27, hi8(buf)
+copy:
+    call read_byte
+    st X+, r16
+    dec r20
+    brne copy
+    ret
+{_STATUS_ROUTINES}
+{_IO_ROUTINES}
+"""
+
+#: Attacker-controlled stack pointer: two radio bytes go straight to
+#: SPH/SPL (a pivot into the heap or another task's region).
+VICTIM_SP = f"""
+.bss status, {STATUS_BYTES}
+main:
+    call fill_status
+    call read_byte
+    mov r18, r16
+    call read_byte
+    out 0x3E, r18
+    out 0x3D, r16
+    call send_digest
+    break
+{_STATUS_ROUTINES}
+{_IO_ROUTINES}
+"""
+
+#: Attacker-controlled indirect jump: two radio bytes load Z, then
+#: IJMP.  ``resume`` is the honest continuation; ``gadget`` transmits
+#: the hijack marker; ``spin`` jumps to itself forever without ever
+#: taking a backward branch, starving the scheduler tick.
+VICTIM_IJMP = f"""
+.bss status, {STATUS_BYTES}
+main:
+    call fill_status
+    call read_byte
+    mov r31, r16
+    call read_byte
+    mov r30, r16
+    ijmp
+resume:
+    call send_digest
+    break
+{_GADGET}
+spin:
+    ijmp
+{_STATUS_ROUTINES}
+{_IO_ROUTINES}
+"""
+
+#: The canary rides beside every victim: it fills its heap with a
+#: pattern, arms a virtual timer and parks forever, keeping its region
+#: alive so the end-of-trial digest can prove no foreign write landed.
+CANARY = f"""
+.bss pattern, {CANARY_BYTES}
+main:
+    ldi r26, lo8(pattern)
+    ldi r27, hi8(pattern)
+    ldi r20, {CANARY_BYTES}
+    ldi r16, {CANARY_FILL_START}
+fill:
+    st X+, r16
+    subi r16, {(256 - CANARY_FILL_STEP) & 0xFF}
+    dec r20
+    brne fill
+    ldi r16, hi8({CANARY_TIMER_TICKS})
+    sts {ioports.OCR3AH}, r16
+    ldi r16, lo8({CANARY_TIMER_TICKS})
+    sts {ioports.OCR3AL}, r16
+park:
+    sleep
+    rjmp park
+"""
+
+VICTIM_SOURCES: Dict[str, str] = {
+    "stack": VICTIM_STACK,
+    "heap": VICTIM_HEAP,
+    "sp": VICTIM_SP,
+    "ijmp": VICTIM_IJMP,
+}
+
+
+def attacker_src(payload: Sequence[int]) -> str:
+    """An unrolled one-shot sender clocking *payload* out the radio."""
+    lines = ["main:"]
+    for index, value in enumerate(payload):
+        lines += [
+            f"wait{index}:",
+            f"    lds r17, {ioports.UCSR0A}",
+            f"    sbrs r17, {ioports.UDRE}",
+            f"    rjmp wait{index}",
+            f"    ldi r16, {value & 0xFF}",
+            f"    sts {ioports.UDR0}, r16",
+        ]
+    lines.append("    break")
+    return "\n".join(lines) + "\n"
+
+
+# -- address book -------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AddressBook:
+    """Victim-image geography a payload generator may aim at.
+
+    ``labels`` are original (pre-naturalization) victim addresses — the
+    space the trapped IJMP/ICALL translator expects; ``naturalized``
+    maps the same labels into placed flash — the space a smashed native
+    RET consumes.  The asymmetry is real: an attacker needs *both* maps
+    to aim, which the campaign exploits deliberately.
+    """
+
+    labels: Dict[str, int]
+    naturalized: Dict[str, int]
+    victim_span: Tuple[int, int]     # original program [lo, hi)
+    canary_entry: int                # naturalized canary entry point
+    trap_region: Tuple[int, int]     # kernel trampoline flash span
+    flash_end: int                   # first erased word after the image
+
+
+# -- payload generators -------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Trial:
+    """One attack instance: which victim, what bytes, why chosen."""
+
+    shape: str
+    index: int
+    payload: bytes
+    note: str
+
+
+GenFn = Callable[[AddressBook, "XorShift32"], Tuple[bytes, str]]
+
+
+def _frame(length: int, body: Sequence[int]) -> bytes:
+    """Length-prefixed frame, body padded/truncated to *length*."""
+    body = list(body)[:length]
+    body += [0x99 + i & 0xFF for i in range(length - len(body))]
+    return bytes([length & 0xFF] + [b & 0xFF for b in body])
+
+
+def _ret_frame(target: int, extra: int = 0) -> bytes:
+    """A stack-smash frame: the two return-address bytes (hi first —
+    the native RET pops high byte from the lower address), then
+    *extra* trailing bytes marching on up the stack."""
+    body = [(target >> 8) & 0xFF, target & 0xFF]
+    return _frame(2 + extra, body)
+
+
+def gen_heap_ovf(book: AddressBook, rng) -> Tuple[bytes, str]:
+    length = 8 + rng.below(41)          # 8..48 vs a 16-byte buffer
+    return (_frame(length, [0x60 + i for i in range(length)]),
+            f"len={length}")
+
+
+def gen_smash_ret(book: AddressBook, rng) -> Tuple[bytes, str]:
+    kind = rng.below(4)
+    if kind == 0:
+        return _ret_frame(book.naturalized["gadget"]), "ret->gadget"
+    if kind == 1:
+        target = book.flash_end + rng.below(0x200)
+        return _ret_frame(target), f"ret->erased {target:#06x}"
+    if kind == 2:
+        lo, hi = book.trap_region
+        return (_ret_frame(lo + rng.below(max(hi - lo, 1))),
+                "ret->trap region")
+    extra = 16 + rng.below(32)
+        # overwrite, then keep writing up past the region top
+    return (_ret_frame(book.naturalized["gadget"], extra=extra),
+            f"ret overshoot +{extra}")
+
+
+def gen_ret_foreign(book: AddressBook, rng) -> Tuple[bytes, str]:
+    return _ret_frame(book.canary_entry), "ret->canary code"
+
+
+def gen_sp_pivot(book: AddressBook, rng) -> Tuple[bytes, str]:
+    kind = rng.below(3)
+    if kind == 0:
+        target = 0x0100 + rng.below(0x80)       # own / foreign heap
+    elif kind == 1:
+        target = 0x0400 + rng.below(0x400)      # mid-space
+    else:
+        target = 0x1100 + rng.below(0x100)      # beyond logical space
+    return (bytes([(target >> 8) & 0xFF, target & 0xFF]),
+            f"sp={target:#06x}")
+
+
+def gen_ijmp(book: AddressBook, rng) -> Tuple[bytes, str]:
+    kind = rng.below(3)
+    if kind == 0:
+        target, note = book.labels["gadget"], "ijmp->gadget"
+    elif kind == 1:
+        target, note = book.labels["resume"], "ijmp->resume"
+    else:
+        lo, hi = book.victim_span
+        target = hi + rng.below(0x300)
+        note = f"ijmp->{target:#06x} (outside)"
+    return bytes([(target >> 8) & 0xFF, target & 0xFF]), note
+
+
+def gen_ijmp_spin(book: AddressBook, rng) -> Tuple[bytes, str]:
+    target = book.labels["spin"]
+    return (bytes([(target >> 8) & 0xFF, target & 0xFF]),
+            "ijmp->self (tick starvation)")
+
+
+@dataclass(frozen=True)
+class AttackShape:
+    """A parameterized attack family against one victim program."""
+
+    name: str
+    victim: str                        # key into VICTIM_SOURCES
+    gen: GenFn
+    #: Fixed payload specs always run first (the acceptance anchors);
+    #: each is (payload-builder, note) taking only the address book.
+    anchors: Tuple[Tuple[Callable[[AddressBook], bytes], str], ...]
+
+
+SHAPES: Tuple[AttackShape, ...] = (
+    AttackShape(
+        "heap-ovf", "heap", gen_heap_ovf,
+        anchors=(
+            (lambda b: _frame(12, range(0x60, 0x6C)), "len=12 (fits)"),
+            (lambda b: _frame(24, range(0x60, 0x78)),
+             "len=24 (own status)"),
+            (lambda b: _frame(40, range(0x60, 0x88)),
+             "len=40 (past region)"),
+        )),
+    AttackShape(
+        "smash-ret", "stack", gen_smash_ret,
+        anchors=(
+            (lambda b: _ret_frame(b.naturalized["gadget"]),
+             "ret->gadget"),
+            (lambda b: _ret_frame(b.trap_region[0]), "ret->trap region"),
+            (lambda b: _ret_frame(b.flash_end + 8), "ret->erased flash"),
+            (lambda b: _ret_frame(b.naturalized["gadget"], extra=40),
+             "ret overshoot +40"),
+        )),
+    AttackShape(
+        "ret-foreign", "stack", gen_ret_foreign,
+        anchors=((lambda b: _ret_frame(b.canary_entry),
+                  "ret->canary code"),)),
+    AttackShape(
+        "sp-pivot", "sp", gen_sp_pivot,
+        anchors=(
+            (lambda b: bytes([0x01, 0x10]), "sp->heap 0x0110"),
+            (lambda b: bytes([0x11, 0x80]), "sp->0x1180 (no space)"),
+        )),
+    AttackShape(
+        "ijmp", "ijmp", gen_ijmp,
+        anchors=(
+            (lambda b: bytes([(b.labels["gadget"] >> 8) & 0xFF,
+                              b.labels["gadget"] & 0xFF]),
+             "ijmp->gadget"),
+            (lambda b: bytes([0x0F, 0x00]), "ijmp->0x0f00 (outside)"),
+        )),
+    AttackShape(
+        "ijmp-spin", "ijmp", gen_ijmp_spin,
+        anchors=((lambda b: bytes([(b.labels["spin"] >> 8) & 0xFF,
+                                   b.labels["spin"] & 0xFF]),
+                  "ijmp->self"),)),
+)
+
+SHAPE_NAMES: Tuple[str, ...] = tuple(shape.name for shape in SHAPES)
+
+
+def shape_trials(shape: AttackShape, book: AddressBook, seed: int,
+                 randoms: int) -> List[Trial]:
+    """The trial list for one shape: anchors, then seeded draws.
+
+    Every random trial derives its own stream
+    (``attack/<shape>/<index>``), so adding a shape or changing trial
+    counts never perturbs another shape's payload bytes.
+    """
+    from ..faults.rng import XorShift32
+    trials: List[Trial] = []
+    for build, note in shape.anchors:
+        trials.append(Trial(shape.name, len(trials), build(book), note))
+    for _ in range(randoms):
+        index = len(trials)
+        rng = XorShift32(seed).derive(f"attack/{shape.name}/{index}")
+        payload, note = shape.gen(book, rng)
+        trials.append(Trial(shape.name, index, payload, note))
+    return trials

@@ -4,6 +4,7 @@ Subcommands::
 
     sensmart exp [table1|table2|fig4|fig5|fig6|fig7|fig8|all] [--quick]
     sensmart chaos [--seed S] [--quick]  # fault-injection campaign
+    sensmart attack [--family F] [--quick]  # adversarial campaigns
     sensmart run FILE [FILE ...]       # run programs under SenSmart
     sensmart rewrite FILE              # show a naturalized listing
     sensmart asm FILE                  # assemble + disassemble a file
@@ -49,8 +50,46 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     seed = args.seed if args.seed is not None \
         else extra_faults.DEFAULT_SEED
     result = extra_faults.run(quick=args.quick, seed=seed)
-    print(result.render())
+    if args.json:
+        from .pipeline.report import CHAOS_SCHEMA, chaos_report_dict
+        print(json.dumps({"schema": CHAOS_SCHEMA,
+                          "chaos": chaos_report_dict(result)},
+                         indent=2, sort_keys=True))
+    else:
+        print(result.render())
     return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from .adversary import DEFAULT_SEED, run_inject, run_patch
+    seed = args.seed if args.seed is not None else DEFAULT_SEED
+    inject = patch = None
+    ok = True
+    if args.family in ("inject", "all"):
+        inject = run_inject(quick=args.quick, seed=seed)
+        ok = ok and inject.kernel_oob_faults == \
+            inject.count("TRAPPED_OOB")
+    if args.family in ("patch", "all"):
+        patch = run_patch(quick=args.quick, seed=seed)
+        ok = ok and patch.ok
+    if args.json:
+        from .pipeline.report import ATTACK_SCHEMA, attack_report_dict
+        report = attack_report_dict(inject=inject, patch=patch)
+        report["schema"] = ATTACK_SCHEMA
+        report["seed"] = seed
+        report["quick"] = args.quick
+        report["ok"] = ok
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if ok else 1
+    sections = []
+    if inject is not None:
+        sections.append("--- injection campaign "
+                        f"(seed {seed:#x}) ---\n" + inject.render())
+    if patch is not None:
+        sections.append("--- hot-patch session "
+                        f"(seed {seed:#x}) ---\n" + patch.render())
+    print("\n\n".join(sections))
+    return 0 if ok else 1
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
@@ -115,7 +154,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             run_report_dict
         report = {"schema": RUN_SCHEMA, "run": run_report_dict(node)}
         if args.stats:
+            from .pipeline.report import containment_dict
             report["jit"] = jit_stats_dict(node)
+            report["containment"] = containment_dict(node.kernel.stats)
         print(json.dumps(report, indent=2, sort_keys=True))
         return 0 if node.finished else 1
     kernel = node.kernel
@@ -164,6 +205,15 @@ def _print_jit_stats(node) -> None:
                           for kind, count in sorted(
                               counts.items(), key=lambda kv: kv[0].name))
         print(f"  traps: {tally}")
+    stats = kernel.stats
+    if stats.termination_counts:
+        tally = ", ".join(f"{reason}={count}" for reason, count
+                          in sorted(stats.termination_counts.items()))
+        print(f"  terminations: {tally}")
+    if stats.fault_kinds:
+        tally = ", ".join(f"{kind}={count}" for kind, count
+                          in sorted(stats.fault_kinds.items()))
+        print(f"  fault kinds: {tally}")
 
 
 def _cmd_rewrite(args: argparse.Namespace) -> int:
@@ -428,7 +478,31 @@ def build_parser() -> argparse.ArgumentParser:
                             "report)")
     chaos.add_argument("--quick", action="store_true",
                        help="smoke-test sized campaign")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the sensmart-chaos/1 JSON report "
+                            "instead of text")
     chaos.set_defaults(func=_cmd_chaos)
+
+    attack = sub.add_parser(
+        "attack", help="adversarial campaigns: radio code-injection "
+                       "attacks and live over-the-air hot-patching "
+                       "(seed-reproducible, tier-invariant)")
+    attack.add_argument("--family", choices=["inject", "patch", "all"],
+                        default="all",
+                        help="inject = malicious-payload containment "
+                             "campaign; patch = OTA hot-patch of a "
+                             "running task")
+    attack.add_argument("--seed", type=lambda s: int(s, 0),
+                        default=None, metavar="S",
+                        help="campaign seed (default: the pinned "
+                             "DEFAULT_SEED; same seed => byte-identical "
+                             "report)")
+    attack.add_argument("--quick", action="store_true",
+                        help="anchor trials / fewer patch passes only")
+    attack.add_argument("--json", action="store_true",
+                        help="emit the sensmart-attack/1 JSON report "
+                             "instead of text")
+    attack.set_defaults(func=_cmd_attack)
 
     fleet = sub.add_parser(
         "fleet", help="sharded multi-node fleet co-simulation "
@@ -445,7 +519,8 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="PERMILLE",
                        help="rgg connect radius, 1/1000ths of the "
                             "unit square")
-    fleet.add_argument("--workload", choices=["flood", "relay"],
+    fleet.add_argument("--workload",
+                       choices=["flood", "relay", "attack"],
                        default="flood")
     fleet.add_argument("--count", type=int, default=8, metavar="K",
                        help="bytes injected by the source")

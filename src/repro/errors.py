@@ -80,3 +80,20 @@ class TaskFault(KernelError):
 
 class OutOfMemory(KernelError):
     """The kernel could not allocate or grow a memory region."""
+
+
+class LoadError(KernelError):
+    """The dynamic loader rejected an image before installing anything.
+
+    Raised for malformed or truncated sources (and anything else the
+    compile/naturalize stages refuse); mirrors the
+    :class:`~repro.kernel.termination.TerminationReason` style with a
+    stable ``reason`` string.  The loader guarantees the node is
+    untouched when this escapes: no flash burned, no trampolines
+    registered, no region moved — running tasks stay bit-identical.
+    """
+
+    def __init__(self, name: str, reason: str):
+        super().__init__(f"load of {name!r} rejected: {reason}")
+        self.name = name
+        self.reason = reason

@@ -19,6 +19,17 @@ through ``UDR0``), assigned per node from the topology:
     every off-path node runs a bounded ALU workload so shards always
     have local compute to overlap with the route's I/O.
 
+``attack``
+    The relay route carrying adversarial traffic: the source is
+    ``mallory``, sending a length-prefixed frame whose length byte
+    claims *count* payload bytes, and the sink runs the intentionally
+    vulnerable unchecked heap-copy receiver from
+    :mod:`repro.adversary.attacks`.  With *count* beyond the 16-byte
+    buffer the copy crosses the sink task's region boundary and the
+    kernel traps it (an ``oob`` fault termination on the sink) — the
+    containment outcome, like everything else in the node digests,
+    must be bit-identical across shard counts.
+
 Busy-wait receive loops are deliberate here: a spinning node's
 earliest-possible-TX equals its current cycle, so the conservative
 cross-shard lookahead in :mod:`repro.fleet.sim` never needs to reason
@@ -94,6 +105,32 @@ wait_rx:
     st X+, r16
     dec r20
     brne recv
+    break
+"""
+
+
+def mallory_src(count: int, start: int = 0x30) -> str:
+    """The attack source: a length byte claiming *count*, then *count*
+    pattern bytes — the classic unchecked-copy overflow frame."""
+    return f"""
+main:
+    ldi r16, {count}
+    ldi r20, {count}
+wait_len:
+    lds r19, {ioports.UCSR0A}
+    sbrs r19, {ioports.UDRE}
+    rjmp wait_len
+    sts {ioports.UDR0}, r16
+    ldi r16, {start}
+send:
+wait_tx:
+    lds r19, {ioports.UCSR0A}
+    sbrs r19, {ioports.UDRE}
+    rjmp wait_tx
+    sts {ioports.UDR0}, r16
+    inc r16
+    dec r20
+    brne send
     break
 """
 
@@ -177,7 +214,28 @@ def build_programs(topology: Topology, workload: str,
                 roles[name] = "compute"
                 programs[name] = (
                     ("compute", compute_src(outer=compute_outer)),)
+    elif workload == "attack":
+        from ..adversary.attacks import VICTIM_HEAP
+        sink = sink_of(topology)
+        path = topology.bfs_path(source, sink)
+        on_path = set(path)
+        # The frame on the air is length byte + count payload bytes.
+        frame = count + 1
+        for name in topology.names:
+            if name == source:
+                roles[name] = "mallory"
+                programs[name] = (("mallory", mallory_src(count)),)
+            elif name == sink:
+                roles[name] = "victim"
+                programs[name] = (("victim", VICTIM_HEAP),)
+            elif name in on_path:
+                roles[name] = "relay"
+                programs[name] = (("relay", relay_src(frame)),)
+            else:
+                roles[name] = "compute"
+                programs[name] = (
+                    ("compute", compute_src(outer=compute_outer)),)
     else:
         raise ReproError(f"unknown workload {workload!r} "
-                         "(expected 'flood' or 'relay')")
+                         "(expected 'flood', 'relay' or 'attack')")
     return programs, roles

@@ -57,3 +57,8 @@ TASK_EXIT = 120             # est.: reclaim region, schedule next
 TASK_RESTART = 1450         # est.: region wipe + context reset on a
                             # restart-policy revival (~ half a full
                             # context switch plus the zero-fill loop)
+
+# -- dynamic loading ------------------------------------------------------------------------
+LOAD_VALIDATE_BASE = 800    # est.: reprogramming-service header walk
+LOAD_VALIDATE_PER_BYTE = 1  # est.: checksum/decode pass over the image;
+                            # charged even when validation rejects it

@@ -23,7 +23,7 @@ from .regions import MemoryRegion, RegionTable
 from .relocation import StackRelocator
 from .scheduler import RoundRobinScheduler
 from .task import Task, TaskState
-from .termination import TerminationReason
+from .termination import TerminationReason, classify_fault_detail
 from .translation import AddressTranslator
 from .traps import TrapHandlers
 
@@ -48,6 +48,15 @@ class KernelStats:
     panics: int = 0
     #: Trap executions by PatchKind (the kernel-side profile).
     trap_counts: Dict = field(default_factory=dict)
+    #: Terminations by TerminationReason name — the containment ledger
+    #: survivability tables cross-check against (EXIT included, so the
+    #: values sum to ``len(terminations)``).
+    termination_counts: Dict = field(default_factory=dict)
+    #: FAULT terminations by detail class ("oob" / "invalid-insn" /
+    #: "other", see :func:`~.termination.classify_fault_detail`): how
+    #: many faults were the bounds machinery saying no versus a wild
+    #: jump decoding garbage.
+    fault_kinds: Dict = field(default_factory=dict)
 
     def busy_cycles(self, total_cycles: int) -> int:
         return total_cycles - self.idle_cycles
@@ -390,6 +399,12 @@ class SenSmartKernel:
         task.exit_reason = text
         task.termination = reason
         self.stats.terminations.append(f"{task.name}: {text}")
+        counts = self.stats.termination_counts
+        counts[reason.name] = counts.get(reason.name, 0) + 1
+        if reason is TerminationReason.FAULT:
+            kind = classify_fault_detail(detail)
+            kinds = self.stats.fault_kinds
+            kinds[kind] = kinds.get(kind, 0) + 1
         self.scheduler.remove(task)
         was_current = self.current is task
         if was_current:

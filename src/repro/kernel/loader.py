@@ -20,7 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from ..errors import OutOfMemory
+from ..errors import (AssemblerError, EncodingError, LinkError, LoadError,
+                      OutOfMemory, RewriteError)
 from ..pipeline.stages import naturalize_at
 from ..rewriter.rewriter import Rewriter
 from ..rewriter.trampoline import TrampolinePool
@@ -68,7 +69,14 @@ class DynamicLoader:
 
     def load(self, name: str, source: str,
              min_stack: Optional[int] = None) -> LoadReport:
-        """Compile, naturalize, burn and start *source* as a new task."""
+        """Compile, naturalize, burn and start *source* as a new task.
+
+        A malformed or truncated *source* raises :class:`LoadError`
+        *before* anything is installed: the validation pass is charged
+        (a real bootloader walks the whole transfer before deciding),
+        but flash, trampolines, the trap-region list and the region map
+        are untouched — every running task continues bit-identically.
+        """
         kernel = self.kernel
         natural, flash_words = self._install_flash(name, source)
         flash_pages = -(-flash_words // SPM_PAGE_WORDS)
@@ -87,9 +95,14 @@ class DynamicLoader:
         task.branch_counter = kernel.config.branch_trap_period
         kernel.tasks[task_id] = task
         kernel.scheduler.enqueue(task)
-        # Loading onto an idle node (every prior task already exited)
-        # must revive the scheduler.
-        if kernel.current is None:
+        # Loading onto an idle node must revive the scheduler — both
+        # the halted case (every prior task exited) and the parked case
+        # (all tasks blocked, CPU left "sleeping" between runs; without
+        # the unpark the fresh task would sit READY under a sleeping
+        # CPU until some timer fired).
+        if kernel._parked:
+            kernel._unpark()
+        elif kernel.current is None:
             kernel.cpu.halted = False
             if kernel._booted:
                 kernel._dispatch_next()
@@ -119,7 +132,14 @@ class DynamicLoader:
         # Through the pipeline's work functions, so the process-wide
         # stage counters account for dynamic loads exactly like linked
         # images (a warm serve path must show zero of either).
-        natural = naturalize_at(name, source, base, pool, self.rewriter)
+        try:
+            natural = naturalize_at(name, source, base, pool,
+                                    self.rewriter)
+        except (AssemblerError, EncodingError, LinkError,
+                RewriteError) as error:
+            kernel.charge(costs.LOAD_VALIDATE_BASE
+                          + costs.LOAD_VALIDATE_PER_BYTE * len(source))
+            raise LoadError(name, str(error)) from error
         trap_lo = base + natural.size_words
         trap_hi = pool.place(trap_lo)
         natural.resolve(pool)

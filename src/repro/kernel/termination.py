@@ -54,3 +54,37 @@ class TerminationReason(enum.Enum):
 
 #: Valid per-task / per-node restart policies.
 RESTART_POLICIES = ("never", "restart", "restart-with-backoff")
+
+
+#: Detail substrings of FAULT terminations that mean *the containment
+#: machinery itself* rejected the access — logical addressing, SP
+#: virtualization, or indirect-branch translation said no.  One entry
+#: per raise site (translation.py, traps.py, cpu wild access).
+OOB_FAULT_MARKERS = (
+    "out of space",            # logical address beyond memory_size
+    "beyond heap",             # heap displacement left the region
+    "outside region",          # stack access outside [p_h, p_u)
+    "outside stack area",      # virtualized SP write rejected
+    "outside the task's program",  # indirect branch / LPM translation
+    "not owned",               # reverse translation of a foreign byte
+    "POP from an empty stack",  # stack underflow
+    "wild access",             # physical access off the memory map
+)
+
+
+def classify_fault_detail(detail: str) -> str:
+    """Coarse class of a FAULT detail string.
+
+    ``"oob"``: an out-of-bounds access the logical-addressing layer
+    trapped (the containment win the survivability tables count);
+    ``"invalid-insn"``: the CPU fetched an undecodable word (a wild
+    jump landed in erased or data flash); ``"other"``: everything else.
+    """
+    for marker in OOB_FAULT_MARKERS:
+        if marker in detail:
+            return "oob"
+    if "memory fault" in detail:
+        return "oob"
+    if "invalid instruction" in detail:
+        return "invalid-insn"
+    return "other"

@@ -18,6 +18,8 @@ ANALYZE_SCHEMA = "sensmart-analyze/1"
 RUN_SCHEMA = "sensmart-run/1"
 SERVE_STATS_SCHEMA = "sensmart-serve-stats/1"
 FLEET_SCHEMA = "sensmart-fleet/1"
+CHAOS_SCHEMA = "sensmart-chaos/1"
+ATTACK_SCHEMA = "sensmart-attack/1"
 
 
 def fleet_report_dict(result, timing: bool = False) -> dict:
@@ -218,6 +220,103 @@ def jit_stats_dict(node) -> dict:
                                   "corrupt": st.corrupt,
                                   "max_files": tracer.store.max_files}
     return out
+
+
+def containment_dict(kernel_stats) -> dict:
+    """Containment ledger of one :class:`KernelStats`: terminations by
+    reason and faults by kind (the counters the adversarial campaign
+    cross-checks its survivability table against)."""
+    return {
+        "terminations_by_reason": dict(
+            sorted(kernel_stats.termination_counts.items())),
+        "faults_by_kind": dict(sorted(kernel_stats.fault_kinds.items())),
+    }
+
+
+def chaos_report_dict(result) -> dict:
+    """JSON form of a :class:`~repro.experiments.extra_faults.ChaosResult`."""
+    return {
+        "seed": result.seed,
+        "rows": [
+            {"mix": r.mix, "level": r.level, "tasks": r.tasks,
+             "finished": r.finished, "restarted_ok": r.restarted_ok,
+             "dead": r.dead, "terminations": r.terminations,
+             "restarts": r.restarts, "watchdog": r.watchdog,
+             "crashes": r.crashes, "recovered": r.recovered,
+             "delivered": r.delivered, "dropped": r.dropped,
+             "corrupted": r.corrupted, "duplicated": r.duplicated}
+            for r in result.rows
+        ],
+        "moderate": {
+            "terminations": result.moderate_terminations,
+            "restarted_ok": result.moderate_restarted_ok,
+            "recovered": result.moderate_recovered,
+        },
+    }
+
+
+def inject_report_dict(result) -> dict:
+    """JSON form of an adversarial injection campaign
+    (:class:`~repro.adversary.campaign.InjectResult`)."""
+    from ..adversary.campaign import CONTAINED_OUTCOMES, OUTCOMES
+    table = {}
+    for shape in result.shapes:
+        table[shape] = {outcome: result.count(outcome, shape)
+                        for outcome in OUTCOMES}
+    return {
+        "seed": result.seed,
+        "quick": result.quick,
+        "trials": [
+            {"shape": t.shape, "index": t.index, "note": t.note,
+             "outcome": t.outcome, "detail": t.detail,
+             "canary_ok": t.canary_ok, "tx": list(t.tx)}
+            for t in result.trials
+        ],
+        "table": table,
+        "contained_outcomes": list(CONTAINED_OUTCOMES),
+        "contained": result.contained,
+        "hijacked": result.hijacked,
+        "silent": result.count("SILENT_CORRUPTION"),
+        "survived": result.count("SURVIVED"),
+        "kernel_oob_faults": result.kernel_oob_faults,
+        "kernel_cross_check_ok":
+            result.kernel_oob_faults == result.count("TRAPPED_OOB"),
+        "digest": result.digest,
+    }
+
+
+def patch_report_dict(report) -> dict:
+    """JSON form of a hot-patch session
+    (:class:`~repro.adversary.patch.PatchReport`)."""
+    return {
+        "ok": report.ok,
+        "failure": report.failure or None,
+        "passes": report.passes,
+        "frames_unique": report.frames_unique,
+        "frames_rejected": report.frames_rejected,
+        "frames_duplicate": report.frames_duplicate,
+        "link_corrupted": report.link_corrupted,
+        "patch_cycle": report.patch_cycle,
+        "flash_words": report.flash_words,
+        "ram_bytes_moved": report.ram_bytes_moved,
+        "beacons_before": report.beacons_before,
+        "beacons_after": report.beacons_after,
+        "network_alive": report.network_alive,
+        "worker_digest": report.worker_digest,
+        "cold_digest": report.cold_digest,
+        "digest_match": report.worker_digest == report.cold_digest,
+        "digest": report.digest,
+    }
+
+
+def attack_report_dict(inject=None, patch=None) -> dict:
+    """The ``sensmart attack --json`` body: whichever families ran."""
+    families: dict = {}
+    if inject is not None:
+        families["inject"] = inject_report_dict(inject)
+    if patch is not None:
+        families["patch"] = patch_report_dict(patch)
+    return {"families": families}
 
 
 def sim_digest(node) -> str:

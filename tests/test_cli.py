@@ -129,6 +129,84 @@ def test_run_json_stats_report(blink_file, capsys):
     assert "tracer" in report["jit"]
 
 
+def test_run_stats_reports_containment(tmp_path, capsys):
+    bad = tmp_path / "bad.asm"
+    # Reads past the task's logical space -> an oob fault termination.
+    bad.write_text("""
+main:
+    ldi r26, 0xFF
+    ldi r27, 0x1F
+    ld r16, X
+    break
+""")
+    assert main(["run", str(bad), "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "terminations: FAULT=1" in out
+    assert "fault kinds: oob=1" in out
+
+
+def test_run_json_stats_containment(blink_file, capsys):
+    import json
+    assert main(["run", blink_file, "--json", "--stats"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["containment"]["terminations_by_reason"] == {"EXIT": 1}
+    assert report["containment"]["faults_by_kind"] == {}
+
+
+def test_chaos_json_report(monkeypatch, capsys):
+    import json
+    from repro.experiments import extra_faults
+    from repro.experiments.extra_faults import ChaosResult, ChaosRow
+    row = ChaosRow(mix="table1", level=1, tasks=9, finished=8,
+                   restarted_ok=2, dead=1, terminations=3, restarts=2,
+                   watchdog=1, crashes=1, recovered=1, delivered=64,
+                   dropped=2, corrupted=1, duplicated=0)
+    fake = ChaosResult(seed=0x5EED5, rows=[row])
+    monkeypatch.setattr(extra_faults, "run",
+                        lambda quick=False, seed=0: fake)
+    assert main(["chaos", "--json", "--quick"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["schema"] == "sensmart-chaos/1"
+    assert report["chaos"]["seed"] == 0x5EED5
+    (got,) = report["chaos"]["rows"]
+    assert got["mix"] == "table1" and got["delivered"] == 64
+    assert report["chaos"]["moderate"]["terminations"] == 3
+
+
+def test_attack_patch_family_json(capsys):
+    import json
+    assert main(["attack", "--family", "patch", "--quick",
+                 "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["schema"] == "sensmart-attack/1"
+    assert report["ok"] is True
+    assert "inject" not in report["families"]
+    patch = report["families"]["patch"]
+    assert patch["ok"] is True
+    assert patch["digest_match"] is True
+    assert patch["network_alive"] is True
+    assert patch["frames_rejected"] >= 1
+
+
+def test_attack_inject_family_text(capsys):
+    assert main(["attack", "--family", "inject", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "injection campaign" in out
+    assert "campaign digest" in out
+    assert "kernel cross-check" in out and "(ok)" in out
+    assert "hot-patch" not in out
+
+
+def test_fleet_accepts_attack_workload(capsys):
+    import json
+    assert main(["fleet", "--topology", "grid", "--rows", "2",
+                 "--cols", "2", "--workload", "attack", "--count",
+                 "40", "--max-cycles", "2000000", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    fleet = report["fleet"]
+    assert fleet["finished_nodes"] == fleet["nodes"] == 4
+
+
 def test_lint_json_report(blink_file, capsys):
     import json
     assert main(["lint", blink_file, "--json", "--bounds"]) == 0

@@ -187,3 +187,44 @@ main:
     break
 """, devices=[radio])
     assert cpu.r[20] == 0
+
+
+def test_radio_zero_length_frame_is_noop():
+    from repro.avr.devices.radio import RXC
+    radio = Radio()
+    radio.deliver(b"")  # zero-length delivery: nothing queued
+    cpu = run_asm(f"""
+main:
+    lds r16, {ioports.UCSR0A}
+    break
+""", devices=[radio])
+    assert not cpu.r[16] & (1 << RXC)
+    assert not radio.rx_queue
+
+
+def test_radio_max_length_frame_delivered_intact():
+    """A 255-byte frame (the largest a one-byte length field can
+    claim) drains in order with no loss and leaves RXC clear."""
+    from repro.avr.devices.radio import RXC
+    radio = Radio()
+    payload = bytes((7 + 3 * i) & 0xFF for i in range(255))
+    radio.deliver(payload)
+    cpu = run_asm(f"""
+main:
+    ldi r20, 255
+    ldi r26, 0x00
+    ldi r27, 0x02
+recv:
+    lds r17, {ioports.UCSR0A}
+    sbrs r17, {RXC}
+    rjmp recv
+    lds r16, {ioports.UDR0}
+    st X+, r16
+    dec r20
+    brne recv
+    lds r18, {ioports.UCSR0A}
+    break
+""", devices=[radio])
+    assert bytes(cpu.mem.data[0x200:0x200 + 255]) == payload
+    assert not cpu.r[18] & (1 << RXC)
+    assert not radio.rx_queue

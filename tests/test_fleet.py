@@ -105,6 +105,40 @@ def test_shard_count_invariance_clean():
         assert sum(r.compiled_per_shard) <= 2, r.compiled_per_shard
 
 
+def test_attack_workload_digest_invariant_and_contained():
+    """Attack traffic through the fleet: digests agree across shard
+    counts, every node quiesces, and the sink's unchecked copy is
+    trapped by logical addressing (an oob fault termination)."""
+    from repro.fleet import build_programs
+    from repro.kernel.termination import classify_fault_detail
+
+    topo = grid(3, 3, latency_cycles=2_000, seed=0xF1EE7)
+    spec = build_spec(topo, "attack", count=40, seed=0xF1EE7,
+                      max_cycles=3_000_000)
+    assert spec.roles["n000"] == "mallory"
+    assert "victim" in spec.roles.values()
+    results = {shards: FleetSim(spec, shards=shards).run()
+               for shards in (1, 2)}
+    assert len({r.digest for r in results.values()}) == 1
+    for r in results.values():
+        assert r.finished_nodes == 9
+
+    # Replay the same route on a plain Network to inspect the sink.
+    programs, roles = build_programs(topo, "attack", count=40)
+    sink = next(n for n, role in roles.items() if role == "victim")
+    net = Network()
+    for name in topo.names:
+        net.add_node(name, SensorNode.from_sources(
+            list(programs[name])))
+    for link in topo.links:
+        net.connect(link.source, link.destination,
+                    latency_cycles=link.latency_cycles)
+    net.run(max_cycles=3_000_000)
+    victim = net.nodes[sink].task_named("victim")
+    assert victim.exit_reason.startswith("fault")
+    assert classify_fault_detail(victim.exit_reason) == "oob"
+
+
 # -- heap scheduler vs reference scan ----------------------------------------
 
 SENDER = sender_src(6)

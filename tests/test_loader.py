@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import OutOfMemory
+from repro.errors import LoadError, OutOfMemory
 from repro.kernel import KernelConfig, SensorNode
 from repro.workloads.bintree import search_task_source
 
@@ -165,6 +165,68 @@ def test_sequential_loads_extend_flash():
     assert first < second < third
     node.run(max_instructions=30_000_000)
     assert node.finished
+
+
+def _node_snapshot(node):
+    """Everything a failed load must leave untouched."""
+    kernel = node.kernel
+    cursor = kernel.loader.flash_cursor
+    return (
+        bytes(kernel.cpu.mem.data),
+        tuple((r.task_id, r.p_l, r.p_h, r.p_u)
+              for r in kernel.regions.regions),
+        cursor,
+        tuple(kernel.cpu.flash.word(w)
+              for w in range(cursor, min(cursor + 64,
+                                         kernel.cpu.flash.size_words))),
+        sorted(kernel.trampolines),
+        tuple(kernel.cpu._trap_ranges),
+    )
+
+
+@pytest.mark.parametrize("bad_source", [
+    "main:\n    frobnicate r16\n",          # unknown mnemonic
+    "main:\n    rjmp nowhere\n",            # truncated: missing label
+    "main:\n    ldi r16, 9999\n",           # immediate does not encode
+])
+def test_malformed_load_rejected_cleanly(bad_source):
+    """A failed mid-patch load keeps running tasks bit-identical.
+
+    The validation pass is charged, but flash, trampolines, regions
+    and every byte of RAM stay exactly as they were, and the node runs
+    on to the same final state.
+    """
+    node = make_node(("u1", STACK_USER), ("u2", STACK_USER))
+    kernel = node.kernel
+    node.run(max_cycles=120_000)  # both tasks hold live data
+    before = _node_snapshot(node)
+    cycles_before = node.cpu.cycles
+    with pytest.raises(LoadError) as info:
+        kernel.load_task("bad", bad_source)
+    assert "rejected" in str(info.value)
+    assert _node_snapshot(node) == before
+    assert node.cpu.cycles > cycles_before  # validation was charged
+    # The node keeps running; live stacks and heaps are intact.
+    node.run(max_instructions=30_000_000)
+    assert node.finished
+    for name in ("u1", "u2"):
+        task = node.task_named(name)
+        assert task.exit_reason == "exit"
+        assert task.context.regs[18] == 0x66
+        assert task.context.regs[19] == 0x5A
+        assert task.context.regs[20] == 0x5A
+
+
+def test_failed_load_then_good_load_still_works():
+    node = make_node(("s1", SPINNER))
+    kernel = node.kernel
+    node.run(max_cycles=50_000)
+    with pytest.raises(LoadError):
+        kernel.load_task("bad", "main:\n    frobnicate r16\n")
+    kernel.load_task("hot", NEW_TASK)
+    node.run(max_instructions=30_000_000)
+    assert node.finished
+    assert node.task_named("hot").exit_reason == "exit"
 
 
 def test_load_onto_idle_node_revives_scheduler():

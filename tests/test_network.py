@@ -256,6 +256,70 @@ def test_arrivals_are_cycle_exact():
     assert link.arrival_cycles == [tx + latency for tx in tx_cycles]
 
 
+def test_frame_arriving_exactly_at_task_switch_boundary():
+    """Bytes landing in the exact cycle of a context switch are not
+    lost: the receiver task drains them when it is scheduled back in.
+    """
+    from repro.kernel import KernelConfig
+    compute = """
+main:
+    ldi r21, 12
+outer:
+    ldi r20, 250
+inner:
+    add r24, r20
+    dec r20
+    brne inner
+    dec r21
+    brne outer
+    break
+"""
+    config = KernelConfig(time_slice_cycles=20_000)
+    node = SensorNode.from_sources(
+        [("receiver", RECEIVER), ("compute", compute)], config=config)
+    kernel = node.kernel
+    # Run to the exact moment of the first context switch...
+    node.run(max_cycles=50_000_000,
+             until=lambda cpu: kernel.stats.context_switches >= 1)
+    assert kernel.stats.context_switches == 1
+    assert not node.finished
+    # ...and deliver the whole frame in that very cycle.
+    node.radio.deliver(b"012345")
+    node.run(max_cycles=50_000_000)
+    assert node.finished
+    assert heap_bytes(node, "receiver", 6) == b"012345"
+    assert not node.radio.rx_queue
+
+
+def test_zero_and_max_frames_between_nodes():
+    """Network delivery edge sizes: an empty TX log ferries nothing; a
+    200-byte burst (the workload builders' cap) arrives intact."""
+    net = Network(quantum_cycles=5_000)
+    net.add_node("mute", SensorNode.from_sources(
+        [("compute", "main:\n    ldi r16, 1\n    break\n")]))
+    net.add_node("rx", SensorNode.from_sources(
+        [("receiver", _receiver_src(1))]))
+    net.connect("mute", "rx", latency_cycles=1_000)
+    net.run(max_cycles=400_000)
+    link = net.link_between("mute", "rx")
+    assert (link.delivered, link.dropped) == (0, 0)
+    assert not net.nodes["rx"].finished  # still waiting: nothing sent
+
+    net = Network(quantum_cycles=5_000)
+    count = 200
+    net.add_node("tx", SensorNode.from_sources(
+        [("sender", _sender_src(0x10, count=count))]))
+    net.add_node("rx", SensorNode.from_sources(
+        [("receiver", _receiver_src(count))]))
+    net.connect("tx", "rx", latency_cycles=1_000)
+    net.run(max_cycles=50_000_000)
+    assert net.nodes["rx"].finished
+    expected = bytes((0x10 + i) & 0xFF for i in range(count))
+    assert heap_bytes(net.nodes["rx"], "receiver", count) == expected
+    link = net.link_between("tx", "rx")
+    assert (link.delivered, link.dropped) == (count, 0)
+
+
 def _node_state(node: SensorNode):
     cpu = node.cpu
     return (bytes(cpu.r), cpu.sreg, cpu.pc, cpu.sp, cpu.cycles,
